@@ -1,0 +1,89 @@
+"""Figure 10 — time-to-detection (TTD) ECDF for D3 on the WS and HD workloads.
+
+SpliDT's recirculation-based partitioned inference must not slow detection:
+its TTD distribution should closely track the one-shot NetBeacon baseline
+(both are bounded by how fast packets of the flow arrive), while SpliDT's F1
+is higher.  Expected shape: similar percentiles for both systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_common import baseline_at_flows, evaluate_splidt_config, get_store, write_result
+from repro.analysis import render_table, summarize_ttd
+from repro.dataplane import SpliDTDataPlane, TopKDataPlane, replay_dataset
+
+REPLAY_FLOWS = 120
+
+
+def _scaled_dataset(store, time_scale: float):
+    """Copy of the benchmark dataset with inter-arrival times scaled.
+
+    The WS environment has long-lived flows (larger inter-arrival gaps), HD
+    has short bursty flows — modelled by scaling packet timestamps.
+    """
+    from repro.datasets.flows import Flow, FlowDataset, Packet
+
+    dataset = store.dataset
+    flows = []
+    for flow in dataset.flows[:REPLAY_FLOWS]:
+        packets = [
+            Packet(
+                timestamp=packet.timestamp * time_scale,
+                size=packet.size,
+                flags=packet.flags,
+                direction=packet.direction,
+                payload=packet.payload,
+            )
+            for packet in flow.packets
+        ]
+        flows.append(
+            Flow(
+                five_tuple=flow.five_tuple,
+                packets=packets,
+                label=flow.label,
+                class_name=flow.class_name,
+                flow_id=flow.flow_id,
+            )
+        )
+    return FlowDataset(dataset.name, dataset.description, flows, list(dataset.class_names))
+
+
+def _run() -> str:
+    store = get_store("D3")
+    splidt_candidate = evaluate_splidt_config(store, depth=9, k=4, partitions=3)
+    netbeacon = baseline_at_flows(store, "netbeacon", 100_000)
+    rows = []
+    for environment, time_scale in (("WS", 3.0), ("HD", 1.0)):
+        subset = _scaled_dataset(store, time_scale)
+
+        splidt_program = SpliDTDataPlane(
+            splidt_candidate.model, splidt_candidate.rules, flow_slots=8192
+        )
+        splidt_result = replay_dataset(splidt_program, subset)
+        netbeacon_program = TopKDataPlane(netbeacon.model, flow_slots=8192)
+        netbeacon_result = replay_dataset(netbeacon_program, subset)
+
+        for system, result in (("SpliDT", splidt_result), ("NetBeacon", netbeacon_result)):
+            summary = summarize_ttd(result.time_to_detection())
+            rows.append(
+                [
+                    environment,
+                    system,
+                    f"{result.report.f1_score:.3f}",
+                    f"{summary['median']*1e3:.1f}",
+                    f"{summary['p90']*1e3:.1f}",
+                    f"{summary['p99']*1e3:.1f}",
+                ]
+            )
+    return render_table(
+        ["Environment", "System", "F1", "Median TTD (ms)", "p90 TTD (ms)", "p99 TTD (ms)"],
+        rows,
+    )
+
+
+def test_fig10_ttd(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("fig10_ttd", table)
+    assert "Median TTD" in table

@@ -1,0 +1,43 @@
+"""Figure 11 — per-flow register bits versus the number of features in the model.
+
+SpliDT:k keeps a constant footprint of k × 32 bits no matter how many
+distinct features the model uses, while NetBeacon/Leo grow linearly.  The
+regenerated table also confirms the trained benchmark models really do use
+more features than their register slots.
+"""
+
+from __future__ import annotations
+
+from bench_common import evaluate_splidt_config, get_store, write_result
+from repro.analysis import render_table
+from repro.core.resources import baseline_register_bits_vs_features, register_bits_vs_features
+
+FEATURE_COUNTS = [1, 2, 4, 6, 8, 10, 20, 30, 41]
+
+
+def _run() -> str:
+    rows = []
+    for k in (1, 2, 3, 4):
+        bits = register_bits_vs_features(FEATURE_COUNTS, features_per_subtree=k)
+        rows.append([f"SpliDT:{k}"] + [str(b) for b in bits])
+    baseline = baseline_register_bits_vs_features(FEATURE_COUNTS)
+    rows.append(["NB/Leo"] + [str(b) for b in baseline])
+
+    # Empirical check on a trained model: total features > k, register bits = k*32.
+    store = get_store("D3")
+    candidate = evaluate_splidt_config(store, depth=12, k=4, partitions=4)
+    rows.append(
+        [
+            "trained D3 (k=4)",
+            f"features={len(candidate.model.features_used())}",
+            f"reg_bits={candidate.resources.layout.feature_bits}",
+        ]
+        + [""] * (len(FEATURE_COUNTS) - 2)
+    )
+    return render_table(["Model"] + [f"{n} feat" for n in FEATURE_COUNTS], rows)
+
+
+def test_fig11_register_scaling(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("fig11_register_scaling", table)
+    assert "SpliDT:4" in table

@@ -1,0 +1,38 @@
+"""Table 4 — average time per design-search iteration, broken down by stage.
+
+The paper reports that training dominates each iteration (~88%), followed by
+the optimiser, with rule generation and the backend costing comparatively
+little.  Expected shape: training is the largest component for every dataset.
+"""
+
+from __future__ import annotations
+
+from bench_common import get_store, write_result
+from repro.analysis import format_timings_table
+from repro.core.dse import DesignSearch
+from repro.switch.targets import TOFINO1
+
+DATASETS = ("D1", "D2", "D3", "D4", "D5", "D6", "D7")
+
+
+def _run() -> str:
+    timings = {}
+    for key in DATASETS:
+        store = get_store(key)
+        search = DesignSearch(
+            store,
+            target=TOFINO1,
+            depth_range=(3, 12),
+            k_range=(2, 4),
+            partitions_range=(1, 4),
+            seed=17,
+        )
+        result = search.run(n_iterations=5, method="bayesian")
+        timings[key] = result.mean_timings()
+    return format_timings_table(timings)
+
+
+def test_table4_iteration_time(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("table4_iteration_time", table)
+    assert "Training" in table

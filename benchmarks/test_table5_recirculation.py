@@ -1,0 +1,39 @@
+"""Table 5 — maximum recirculation bandwidth per dataset, environment, #flows.
+
+Expected shape: bandwidth grows with the number of concurrent flows and with
+the number of partitions of the chosen model, Hadoop (short flows, fast
+turnover) exceeds Webserver, and every value remains a vanishing fraction of
+the 100 Gbps recirculation path.
+"""
+
+from __future__ import annotations
+
+from bench_common import FLOW_TARGETS, best_splidt_at_flows, get_store, write_result
+from repro.analysis import format_recirculation_table
+from repro.datasets import RECIRCULATION_CAPACITY_BPS, WORKLOADS, estimate_recirculation
+from repro.datasets.profiles import DATASET_KEYS
+
+
+def _run() -> str:
+    table_data: dict[str, dict[str, dict[int, float]]] = {}
+    for environment, workload in WORKLOADS.items():
+        table_data[environment] = {}
+        for key in DATASET_KEYS:
+            store = get_store(key)
+            per_flows = {}
+            for n_flows in FLOW_TARGETS:
+                candidate = best_splidt_at_flows(store, n_flows)
+                partitions = candidate.config.n_partitions if candidate else 1
+                estimate = estimate_recirculation(
+                    workload, concurrent_flows=n_flows, n_partitions=partitions
+                )
+                assert estimate.peak_bps < 0.01 * RECIRCULATION_CAPACITY_BPS
+                per_flows[n_flows] = estimate.peak_mbps
+            table_data[environment][key] = per_flows
+    return format_recirculation_table(table_data)
+
+
+def test_table5_recirculation(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("table5_recirculation", table)
+    assert "WS" in table and "HD" in table

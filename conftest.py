@@ -1,0 +1,8 @@
+"""Repository-root conftest: make ``src/`` importable without installation."""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,81 @@
+"""IoT intrusion detection: SpliDT versus NetBeacon / Leo / per-packet models.
+
+Run with::
+
+    python examples/iot_intrusion_detection.py
+
+The scenario mirrors the paper's motivating use case (CIC-IDS-style intrusion
+detection, dataset D6): a switch must classify hundreds of thousands of
+concurrent flows, so the baselines are forced to shrink their global top-k
+feature set as the flow target grows, while SpliDT keeps its per-subtree
+budget and spreads many features across partitions.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import baselines, core, datasets
+from repro.analysis import render_table
+from repro.switch.targets import TOFINO1
+
+FLOW_TARGETS = (100_000, 500_000, 1_000_000)
+
+SPLIDT_CANDIDATES = ((12, 4, 3), (9, 3, 3), (6, 2, 3), (4, 2, 2), (3, 1, 1))
+
+
+def best_splidt(store: datasets.DatasetStore, n_flows: int) -> core.CandidateEvaluation | None:
+    """Pick the best candidate configuration feasible at ``n_flows``."""
+    best = None
+    for depth, k, partitions in SPLIDT_CANDIDATES:
+        config = core.SpliDTConfig.uniform(depth, partitions, k)
+        candidate = core.evaluate_configuration(store, config, target=TOFINO1)
+        if not candidate.supports(n_flows):
+            continue
+        if best is None or candidate.f1_score > best.f1_score:
+            best = candidate
+    return best
+
+
+def main() -> None:
+    print("Generating the D6 (CIC-IDS-2017-like) intrusion-detection dataset ...")
+    dataset = datasets.load_dataset("D6", n_flows=700, seed=1)
+    store = datasets.DatasetStore(dataset, random_state=1)
+    windowed = store.fetch(3)
+
+    per_packet = baselines.search_per_packet(windowed, target=TOFINO1, depth_range=(6, 10))
+
+    rows = []
+    for n_flows in FLOW_TARGETS:
+        netbeacon = baselines.search_netbeacon(
+            windowed, target=TOFINO1, n_flows=n_flows, k_range=(1, 2, 4, 6), depth_range=(4, 8, 12)
+        )
+        leo = baselines.search_leo(
+            windowed, target=TOFINO1, n_flows=n_flows, k_range=(1, 2, 4, 6), depth_range=(3, 6, 11)
+        )
+        splidt = best_splidt(store, n_flows)
+        rows.append(
+            [
+                f"{n_flows:,}",
+                f"{netbeacon.report.f1_score:.3f}" if netbeacon else "infeasible",
+                f"{leo.report.f1_score:.3f}" if leo else "infeasible",
+                f"{splidt.f1_score:.3f}" if splidt else "infeasible",
+                str(len(splidt.model.features_used())) if splidt else "-",
+                f"{per_packet.report.f1_score:.3f}" if per_packet else "-",
+            ]
+        )
+
+    print()
+    print(render_table(
+        ["#Flows", "NetBeacon F1", "Leo F1", "SpliDT F1", "SpliDT #features", "Per-packet F1"],
+        rows,
+    ))
+    print("\nSpliDT keeps (or improves) accuracy as the flow target grows because each "
+          "subtree only needs k feature registers, while the baselines must shed features.")
+
+
+if __name__ == "__main__":
+    main()

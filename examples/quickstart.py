@@ -1,0 +1,72 @@
+"""Quickstart: train a partitioned decision tree and cost it for a Tofino1.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script walks the core SpliDT workflow end to end:
+
+1. generate a synthetic VPN-detection dataset (the D3 equivalent),
+2. materialise per-window feature matrices,
+3. train a partitioned decision tree (depth 9, k = 4, three partitions),
+4. compile it to range-marking TCAM rules, and
+5. estimate its hardware footprint and supported flow count on a Tofino1.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro import core, datasets
+from repro.switch.targets import TOFINO1
+
+
+def main() -> None:
+    print("Generating the D3 (ISCX-VPN-like) synthetic dataset ...")
+    dataset = datasets.load_dataset("D3", n_flows=800, seed=42)
+    store = datasets.DatasetStore(dataset, random_state=42)
+
+    config = core.SpliDTConfig(depth=9, features_per_subtree=4, partition_sizes=(3, 3, 3))
+    windowed = store.fetch(config.n_partitions)
+
+    print(f"Training a partitioned tree: depth={config.depth}, k={config.features_per_subtree}, "
+          f"partitions={config.partition_sizes} ...")
+    model = core.train_partitioned_tree(windowed, config, random_state=42)
+    report = core.evaluate_partitioned_tree(model, windowed)
+
+    print(f"  subtrees trained       : {model.n_subtrees}")
+    print(f"  distinct features used : {len(model.features_used())} "
+          f"(with only {config.features_per_subtree} feature registers per flow)")
+    print(f"  test F1 score          : {report.f1_score:.3f}")
+    print(f"  test accuracy          : {report.accuracy:.3f}")
+
+    print("Compiling range-marking TCAM rules ...")
+    training_matrix = np.vstack(
+        [windowed.partition_matrix(p, "train") for p in range(config.n_partitions)]
+    )
+    rules = core.generate_rules(model, training_matrix)
+    print(f"  TCAM entries           : {rules.n_entries} "
+          f"({rules.n_feature_entries} feature + {rules.n_model_entries} model)")
+
+    print("Estimating the hardware footprint on Tofino1 ...")
+    resources = core.estimate_splidt_resources(
+        model, rules, target=TOFINO1, workloads=datasets.WORKLOADS
+    )
+    print(f"  per-flow feature registers : {resources.layout.feature_bits} bits")
+    print(f"  pipeline stages for logic  : {resources.stages_for_tables}")
+    print(f"  supported concurrent flows : {resources.max_flows:,}")
+    for environment, recirc in resources.recirculation.items():
+        print(f"  recirculation ({environment:2s})        : {recirc.peak_mbps:.1f} Mbps peak "
+              f"({recirc.fraction_of_capacity * 100:.4f}% of the 100 Gbps path)")
+
+    verdict = core.check_feasibility(resources, n_flows=500_000)
+    print(f"Feasible at 500K concurrent flows: {verdict.feasible}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` can fall back to the legacy editable-install path
+on offline machines where PEP-517 wheel building is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

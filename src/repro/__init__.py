@@ -1,0 +1,47 @@
+"""SpliDT reproduction: partitioned decision trees for in-network inference.
+
+The package is organised as a set of substrates (``ml``, ``bayesopt``,
+``datasets``, ``features``, ``switch``) underneath the paper's primary
+contribution (``core`` — partitioned training, range-marking rule generation,
+resource modelling, and design-space exploration), plus the data-plane
+simulation (``dataplane``), the baselines the paper compares against
+(``baselines``), and reporting helpers (``analysis``).
+
+Quickstart::
+
+    from repro import datasets, core
+
+    dataset = datasets.load_dataset("D3", n_flows=2000, seed=7)
+    config = core.SpliDTConfig(depth=6, features_per_subtree=4,
+                               partition_sizes=(2, 2, 2))
+    model = core.train_partitioned_tree(dataset, config)
+    report = core.evaluate_partitioned_tree(model, dataset)
+    print(report.f1_score)
+"""
+
+from repro import (
+    analysis,
+    baselines,
+    bayesopt,
+    core,
+    dataplane,
+    datasets,
+    features,
+    ml,
+    switch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "bayesopt",
+    "core",
+    "dataplane",
+    "datasets",
+    "features",
+    "ml",
+    "switch",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Time-to-detection summaries (Figure 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def summarize_ttd(ttd_values: np.ndarray) -> dict[str, float]:
+    """Summary statistics of a time-to-detection distribution.
+
+    Returns the median, mean, 90th/99th percentiles and maximum in seconds
+    (0.0 for an empty input).
+    """
+    values = np.asarray(ttd_values, dtype=float)
+    if values.size == 0:
+        return {"median": 0.0, "mean": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "median": float(np.median(values)),
+        "mean": float(np.mean(values)),
+        "p90": float(np.percentile(values, 90)),
+        "p99": float(np.percentile(values, 99)),
+        "max": float(np.max(values)),
+    }

@@ -1,0 +1,47 @@
+"""Baselines the paper compares against: NetBeacon, Leo, IIsy/per-packet, pForest."""
+
+from repro.baselines.iisy import search_per_packet, train_per_packet_model
+from repro.baselines.pforest import (
+    PForestModel,
+    evaluate_pforest,
+    pforest_tcam_cost,
+    train_pforest_model,
+)
+from repro.baselines.leo import feasible_leo, leo_tcam_bits, leo_tcam_entries, search_leo
+from repro.baselines.netbeacon import (
+    NETBEACON_PHASES,
+    BaselineCandidate,
+    feasible_netbeacon,
+    netbeacon_tcam_cost,
+    phase_for_packet_count,
+    search_netbeacon,
+)
+from repro.baselines.topk import (
+    TopKModel,
+    select_top_k_features,
+    topk_per_flow_bits,
+    train_topk_model,
+)
+
+__all__ = [
+    "BaselineCandidate",
+    "NETBEACON_PHASES",
+    "PForestModel",
+    "evaluate_pforest",
+    "pforest_tcam_cost",
+    "train_pforest_model",
+    "TopKModel",
+    "feasible_leo",
+    "feasible_netbeacon",
+    "leo_tcam_bits",
+    "leo_tcam_entries",
+    "netbeacon_tcam_cost",
+    "phase_for_packet_count",
+    "search_leo",
+    "search_netbeacon",
+    "search_per_packet",
+    "select_top_k_features",
+    "topk_per_flow_bits",
+    "train_per_packet_model",
+    "train_topk_model",
+]

@@ -1,0 +1,146 @@
+"""Shared machinery for the one-shot top-k baselines (NetBeacon and Leo).
+
+Both baselines collect a fixed, global set of the ``k`` most important
+stateful features over the whole flow and run the decision tree once.  Their
+register footprint therefore grows with ``k`` and their feature coverage is
+capped at ``k`` — the constraint SpliDT removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import TopKConfig
+from repro.core.partitioned_tree import LeafOutcome, OUTCOME_EXIT, Subtree
+from repro.core.range_marking import FeatureQuantizer, RuleSet, generate_subtree_rules
+from repro.core.resources import (
+    RESERVED_BITS,
+    DEPENDENCY_REGISTER_BITS,
+    RegisterLayout,
+    topk_register_layout,
+)
+from repro.datasets.materialize import WindowedDataset
+from repro.features.definitions import FEATURES, STATEFUL_INDICES, STATELESS_INDICES
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def select_top_k_features(
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int,
+    *,
+    candidate_indices: tuple[int, ...] | None = None,
+    random_state: int = 0,
+) -> list[int]:
+    """Rank features by impurity importance and return the top ``k``.
+
+    A full (unconstrained) reference tree is trained on all candidate
+    features; its impurity-decrease importances give the global ranking the
+    top-k baselines use.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    candidates = list(candidate_indices) if candidate_indices is not None else list(range(X.shape[1]))
+    reference = DecisionTreeClassifier(
+        max_depth=12, allowed_features=candidates, random_state=random_state
+    )
+    reference.fit(X, y)
+    importances = reference.feature_importances_
+    ranked = [index for index in np.argsort(-importances) if index in set(candidates)]
+    selected = [int(i) for i in ranked[:k] if importances[i] > 0]
+    # Pad with the remaining candidates if fewer than k carried importance.
+    for index in ranked:
+        if len(selected) >= k:
+            break
+        if int(index) not in selected:
+            selected.append(int(index))
+    return selected[:k]
+
+
+@dataclass
+class TopKModel:
+    """A trained one-shot top-k decision-tree model."""
+
+    config: TopKConfig
+    tree: DecisionTreeClassifier
+    feature_indices: list[int]
+    name: str = "topk"
+    metadata: dict = field(default_factory=dict)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict class labels from whole-flow (or per-packet) features."""
+        return self.tree.predict(X)
+
+    def features_used(self) -> set[int]:
+        """Distinct features the fitted tree actually tests."""
+        return self.tree.features_used()
+
+    @property
+    def depth(self) -> int:
+        """Realised depth of the tree."""
+        return self.tree.get_depth()
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves of the tree."""
+        return self.tree.get_n_leaves()
+
+    def register_layout(self) -> RegisterLayout:
+        """Per-flow register layout: one register per selected stateful feature."""
+        stateful = [i for i in self.feature_indices if FEATURES[i].stateful]
+        return topk_register_layout(stateful, bit_width=self.config.bit_width)
+
+    def as_subtree(self) -> Subtree:
+        """View the flat tree as a single SpliDT subtree (for rule generation)."""
+        subtree = Subtree(sid=1, partition=0, tree=self.tree)
+        for leaf in self.tree.tree_.leaves():
+            label = int(self.tree.classes_[int(np.argmax(leaf.value))]) if leaf.value.sum() else 0
+            subtree.outcomes[leaf.node_id] = LeafOutcome(kind=OUTCOME_EXIT, label=label)
+        return subtree
+
+    def generate_rules(self, training_matrix: np.ndarray) -> RuleSet:
+        """Compile the flat tree with the range-marking algorithm."""
+        quantizer = FeatureQuantizer(bit_width=min(self.config.bit_width, 32)).fit(training_matrix)
+        subtree = self.as_subtree()
+        return RuleSet(
+            subtree_rules={1: generate_subtree_rules(subtree, quantizer)},
+            quantizer=quantizer,
+            bit_width=self.config.bit_width,
+        )
+
+
+def train_topk_model(
+    windowed: WindowedDataset,
+    config: TopKConfig,
+    *,
+    split: str = "train",
+    name: str = "topk",
+    random_state: int = 0,
+) -> TopKModel:
+    """Train a one-shot top-k model on whole-flow (or stateless) features."""
+    y = windowed.split_labels(split)
+    if config.use_stateful:
+        X = windowed.flow_matrix(split)
+        candidates = tuple(STATEFUL_INDICES) + tuple(STATELESS_INDICES)
+    else:
+        X = windowed.packet_matrix(split)
+        candidates = tuple(STATELESS_INDICES)
+
+    features = select_top_k_features(
+        X, y, config.top_k, candidate_indices=candidates, random_state=random_state
+    )
+    tree = DecisionTreeClassifier(
+        max_depth=config.depth,
+        allowed_features=features,
+        min_samples_leaf=config.min_samples_leaf,
+        random_state=random_state,
+    )
+    tree.fit(X, y)
+    return TopKModel(config=config, tree=tree, feature_indices=features, name=name)
+
+
+def topk_per_flow_bits(k: int, *, bit_width: int = 32, dependency_stages: int = 2) -> int:
+    """Per-flow register bits of a top-k baseline (features + reserved + chain)."""
+    return k * bit_width + RESERVED_BITS + dependency_stages * DEPENDENCY_REGISTER_BITS

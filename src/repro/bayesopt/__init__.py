@@ -1,0 +1,47 @@
+"""Bayesian-optimisation substrate (HyperMapper equivalent).
+
+Provides mixed parameter spaces, GP / random-forest surrogates, standard
+acquisition functions and single-/multi-objective optimisers with feasibility
+awareness — the pieces SpliDT's design-space exploration needs.
+"""
+
+from repro.bayesopt.acquisition import (
+    expected_improvement,
+    probability_of_improvement,
+    random_scalarization_weights,
+    scalarize,
+    upper_confidence_bound,
+)
+from repro.bayesopt.optimizer import (
+    BayesianOptimizer,
+    MultiObjectiveBayesianOptimizer,
+    Observation,
+)
+from repro.bayesopt.space import (
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    Parameter,
+    ParameterSpace,
+    RealParameter,
+)
+from repro.bayesopt.surrogate import GaussianProcessSurrogate, RandomForestSurrogate
+
+__all__ = [
+    "BayesianOptimizer",
+    "CategoricalParameter",
+    "GaussianProcessSurrogate",
+    "IntegerParameter",
+    "MultiObjectiveBayesianOptimizer",
+    "Observation",
+    "OrdinalParameter",
+    "Parameter",
+    "ParameterSpace",
+    "RandomForestSurrogate",
+    "RealParameter",
+    "expected_improvement",
+    "probability_of_improvement",
+    "random_scalarization_weights",
+    "scalarize",
+    "upper_confidence_bound",
+]

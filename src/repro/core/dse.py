@@ -1,0 +1,276 @@
+"""Design-space exploration (DSE) for partitioned decision trees.
+
+This is the paper's Figure 5 workflow: a Bayesian-optimisation loop proposes
+model configurations (tree depth ``D``, features per subtree ``k``, number of
+partitions), each configuration is trained with the custom partitioned
+training algorithm, compiled to TCAM rules, costed against the hardware
+target, and the resulting (F1 score, supported flows, feasibility) triple is
+fed back to the optimiser.  The output is a Pareto frontier of configurations
+trading classification accuracy against flow scalability.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bayesopt.optimizer import MultiObjectiveBayesianOptimizer
+from repro.bayesopt.space import IntegerParameter, ParameterSpace
+from repro.core.config import SpliDTConfig
+from repro.core.evaluation import ClassificationReport, evaluate_partitioned_tree
+from repro.core.pareto import pareto_front_indices
+from repro.core.partitioned_tree import PartitionedDecisionTree, train_partitioned_tree
+from repro.core.range_marking import RuleSet, generate_rules
+from repro.core.resources import (
+    ResourceEstimate,
+    check_feasibility,
+    estimate_splidt_resources,
+)
+from repro.datasets.materialize import DatasetStore
+from repro.datasets.workloads import WORKLOADS, WorkloadProfile
+from repro.switch.targets import TOFINO1, TargetSpec
+
+#: Flow-count targets the paper reports (100K, 500K, 1M).
+DEFAULT_FLOW_TARGETS = (100_000, 500_000, 1_000_000)
+
+
+@dataclass
+class StageTimings:
+    """Per-iteration timing breakdown (the paper's Table 4 stages)."""
+
+    fetch: float = 0.0
+    training: float = 0.0
+    optimizer: float = 0.0
+    rulegen: float = 0.0
+    backend: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total iteration time."""
+        return self.fetch + self.training + self.optimizer + self.rulegen + self.backend
+
+
+@dataclass
+class CandidateEvaluation:
+    """Everything the DSE learns about one configuration."""
+
+    config: SpliDTConfig
+    report: ClassificationReport
+    model: PartitionedDecisionTree
+    rules: RuleSet
+    resources: ResourceEstimate
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    @property
+    def f1_score(self) -> float:
+        """Test F1 score."""
+        return self.report.f1_score
+
+    @property
+    def max_flows(self) -> int:
+        """Concurrent flows supported by the register budget."""
+        return self.resources.max_flows
+
+    def supports(self, n_flows: int) -> bool:
+        """Whether this candidate is feasible at ``n_flows`` concurrent flows."""
+        return check_feasibility(self.resources, n_flows=n_flows).feasible
+
+
+def evaluate_configuration(
+    store: DatasetStore,
+    config: SpliDTConfig,
+    *,
+    target: TargetSpec = TOFINO1,
+    workloads: dict[str, WorkloadProfile] | None = None,
+    random_state: int = 0,
+) -> CandidateEvaluation:
+    """Train, compile and cost one configuration (one DSE evaluation)."""
+    timings = StageTimings()
+
+    start = time.perf_counter()
+    windowed = store.fetch(config.n_partitions)
+    if config.bit_width != 32:
+        windowed = windowed.with_precision(config.bit_width)
+    timings.fetch = time.perf_counter() - start
+
+    start = time.perf_counter()
+    model = train_partitioned_tree(windowed, config, random_state=random_state)
+    report = evaluate_partitioned_tree(model, windowed)
+    timings.training = time.perf_counter() - start
+
+    start = time.perf_counter()
+    training_matrix = np.vstack(
+        [windowed.partition_matrix(p, "train") for p in range(config.n_partitions)]
+    )
+    rules = generate_rules(model, training_matrix, bit_width=config.bit_width)
+    timings.rulegen = time.perf_counter() - start
+
+    start = time.perf_counter()
+    resources = estimate_splidt_resources(
+        model, rules, target=target, workloads=workloads or WORKLOADS
+    )
+    timings.backend = time.perf_counter() - start
+
+    return CandidateEvaluation(
+        config=config,
+        report=report,
+        model=model,
+        rules=rules,
+        resources=resources,
+        timings=timings,
+    )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a design-space exploration run."""
+
+    history: list[CandidateEvaluation]
+    target: TargetSpec
+
+    def pareto_candidates(self) -> list[CandidateEvaluation]:
+        """Non-dominated candidates in (F1, supported flows) space."""
+        feasible = [c for c in self.history if c.max_flows > 0]
+        if not feasible:
+            return []
+        points = np.array([[c.f1_score, float(c.max_flows)] for c in feasible])
+        indices = pareto_front_indices(points)
+        return [feasible[i] for i in indices]
+
+    def best_at_flows(self, n_flows: int) -> CandidateEvaluation | None:
+        """Best (highest F1) candidate feasible at ``n_flows`` concurrent flows."""
+        feasible = [c for c in self.history if c.supports(n_flows)]
+        if not feasible:
+            return None
+        return max(feasible, key=lambda c: c.f1_score)
+
+    def pareto_table(self, flow_targets: tuple[int, ...] = DEFAULT_FLOW_TARGETS) -> dict[int, CandidateEvaluation | None]:
+        """Best candidate per flow target (the rows of Figure 6 / Table 3)."""
+        return {flows: self.best_at_flows(flows) for flows in flow_targets}
+
+    def convergence_trace(self) -> list[float]:
+        """Cumulative best F1 over iterations (Figure 7)."""
+        best = 0.0
+        trace = []
+        for candidate in self.history:
+            best = max(best, candidate.f1_score)
+            trace.append(best)
+        return trace
+
+    def mean_timings(self) -> StageTimings:
+        """Mean per-iteration timings across the history (Table 4)."""
+        if not self.history:
+            return StageTimings()
+        return StageTimings(
+            fetch=float(np.mean([c.timings.fetch for c in self.history])),
+            training=float(np.mean([c.timings.training for c in self.history])),
+            optimizer=float(np.mean([c.timings.optimizer for c in self.history])),
+            rulegen=float(np.mean([c.timings.rulegen for c in self.history])),
+            backend=float(np.mean([c.timings.backend for c in self.history])),
+        )
+
+
+class DesignSearch:
+    """Bayesian-optimisation search over partitioned-tree configurations."""
+
+    def __init__(
+        self,
+        store: DatasetStore,
+        *,
+        target: TargetSpec = TOFINO1,
+        depth_range: tuple[int, int] = (2, 30),
+        k_range: tuple[int, int] = (1, 6),
+        partitions_range: tuple[int, int] = (1, 7),
+        bit_width: int = 32,
+        workloads: dict[str, WorkloadProfile] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.store = store
+        self.target = target
+        self.depth_range = depth_range
+        self.k_range = k_range
+        self.partitions_range = partitions_range
+        self.bit_width = bit_width
+        self.workloads = workloads or WORKLOADS
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+
+        self.space = ParameterSpace(
+            [
+                IntegerParameter("depth", depth_range[0], depth_range[1]),
+                IntegerParameter("features_per_subtree", k_range[0], k_range[1]),
+                IntegerParameter("n_partitions", partitions_range[0], partitions_range[1]),
+            ]
+        )
+        self.optimizer = MultiObjectiveBayesianOptimizer(
+            self.space, n_objectives=2, seed=seed, n_initial=6, candidate_pool=128
+        )
+        self._evaluated: dict[tuple, CandidateEvaluation] = {}
+        self.history: list[CandidateEvaluation] = []
+
+    # ------------------------------------------------------------------
+    def config_from_params(self, params: dict) -> SpliDTConfig:
+        """Turn a raw parameter dict into a valid :class:`SpliDTConfig`."""
+        depth = int(params["depth"])
+        n_partitions = int(min(params["n_partitions"], depth))
+        k = int(params["features_per_subtree"])
+        return SpliDTConfig.uniform(
+            depth=depth,
+            n_partitions=n_partitions,
+            features_per_subtree=k,
+            bit_width=self.bit_width,
+        )
+
+    def evaluate(self, config: SpliDTConfig) -> CandidateEvaluation:
+        """Evaluate one configuration (cached on the configuration tuple)."""
+        key = (config.depth, config.features_per_subtree, config.partition_sizes, config.bit_width)
+        if key not in self._evaluated:
+            self._evaluated[key] = evaluate_configuration(
+                self.store,
+                config,
+                target=self.target,
+                workloads=self.workloads,
+                random_state=self.seed,
+            )
+        return self._evaluated[key]
+
+    def run(
+        self,
+        n_iterations: int = 30,
+        *,
+        batch_size: int = 1,
+        method: str = "bayesian",
+    ) -> SearchResult:
+        """Run the search for ``n_iterations`` evaluations.
+
+        ``method`` may be ``"bayesian"`` (default) or ``"random"`` (pure
+        random sampling, used as an ablation of the BO stage).
+        """
+        evaluated = 0
+        while evaluated < n_iterations:
+            batch = min(batch_size, n_iterations - evaluated)
+            if method == "bayesian":
+                optimizer_start = time.perf_counter()
+                proposals = self.optimizer.ask(batch)
+                optimizer_elapsed = (time.perf_counter() - optimizer_start) / max(batch, 1)
+            else:
+                proposals = self.space.sample_many(batch, self.rng)
+                optimizer_elapsed = 0.0
+
+            for params in proposals:
+                config = self.config_from_params(params)
+                candidate = self.evaluate(config)
+                candidate.timings.optimizer = optimizer_elapsed
+                self.history.append(candidate)
+                objectives = (
+                    candidate.f1_score,
+                    np.log10(max(candidate.max_flows, 1)),
+                )
+                feasible = candidate.max_flows > 0
+                if method == "bayesian":
+                    self.optimizer.tell(params, objectives, feasible)
+                evaluated += 1
+
+        return SearchResult(history=list(self.history), target=self.target)

@@ -1,0 +1,63 @@
+"""Model evaluation helpers shared by SpliDT and the baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.partitioned_tree import PartitionedDecisionTree
+from repro.datasets.materialize import WindowedDataset
+from repro.ml.metrics import accuracy_score, confusion_matrix, precision_recall_f1
+
+
+@dataclass
+class ClassificationReport:
+    """Summary of a model's classification performance on one split."""
+
+    f1_score: float
+    accuracy: float
+    precision: float
+    recall: float
+    n_samples: int
+    confusion: np.ndarray = field(repr=False, default=None)
+
+    @staticmethod
+    def from_predictions(y_true: np.ndarray, y_pred: np.ndarray, average: str = "weighted") -> "ClassificationReport":
+        """Build a report from true/predicted label vectors."""
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred, average=average)
+        return ClassificationReport(
+            f1_score=f1,
+            accuracy=accuracy_score(y_true, y_pred),
+            precision=precision,
+            recall=recall,
+            n_samples=int(np.asarray(y_true).shape[0]),
+            confusion=confusion_matrix(y_true, y_pred),
+        )
+
+
+def evaluate_partitioned_tree(
+    model: PartitionedDecisionTree,
+    windowed: WindowedDataset,
+    *,
+    split: str = "test",
+    average: str = "weighted",
+) -> ClassificationReport:
+    """Evaluate a partitioned tree on the requested split of a windowed dataset."""
+    indices = windowed._split_indices(split)
+    window_features = windowed.window_features[: model.n_partitions, indices, :]
+    y_true = windowed.labels[indices]
+    y_pred = model.predict_windows(window_features)
+    return ClassificationReport.from_predictions(y_true, y_pred, average=average)
+
+
+def evaluate_classifier(
+    classifier,
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    average: str = "weighted",
+) -> ClassificationReport:
+    """Evaluate a fitted flat classifier (baselines) on ``(X, y)``."""
+    y_pred = classifier.predict(X)
+    return ClassificationReport.from_predictions(y, y_pred, average=average)

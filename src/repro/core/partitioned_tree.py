@@ -1,0 +1,319 @@
+"""Partitioned decision trees — SpliDT's core model (Algorithm 1).
+
+A partitioned tree is a collection of small CART subtrees organised into
+partitions.  Subtree 1 (partition 0) is trained on the statistics of every
+flow's *first* window; each of its leaves either exits early with a class
+label or hands the samples that reached it to a child subtree in the next
+partition, which is trained on those flows' *second*-window statistics — and
+so on (the paper's Algorithm 1).  Every subtree may use at most ``k``
+distinct features, but different subtrees choose different features, which is
+how the model's total feature coverage grows well beyond ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SpliDTConfig
+from repro.datasets.materialize import WindowedDataset
+from repro.features.definitions import N_FEATURES
+from repro.ml.tree import DecisionTreeClassifier
+
+#: Sentinel leaf outcome kinds.
+OUTCOME_EXIT = "exit"
+OUTCOME_NEXT = "next"
+
+
+@dataclass
+class LeafOutcome:
+    """What happens when inference reaches a subtree leaf.
+
+    Either the flow exits with ``label`` (final partition or early exit), or
+    inference transitions to subtree ``next_sid`` in the next partition.
+    """
+
+    kind: str
+    label: int | None = None
+    next_sid: int | None = None
+
+
+@dataclass
+class Subtree:
+    """One subtree of a partitioned decision tree.
+
+    Attributes:
+        sid: Subtree id (1-based, unique across the whole model).
+        partition: Index of the partition this subtree belongs to.
+        tree: The trained CART subtree.
+        outcomes: Mapping from the CART tree's leaf node id to its outcome.
+        n_training_samples: Training samples the subtree was fitted on.
+    """
+
+    sid: int
+    partition: int
+    tree: DecisionTreeClassifier
+    outcomes: dict[int, LeafOutcome] = field(default_factory=dict)
+    n_training_samples: int = 0
+
+    def features_used(self) -> set[int]:
+        """Distinct features tested by this subtree."""
+        return self.tree.features_used()
+
+    @property
+    def depth(self) -> int:
+        """Realised depth of the subtree."""
+        return self.tree.get_depth()
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves of the subtree."""
+        return self.tree.get_n_leaves()
+
+
+@dataclass
+class PartitionedDecisionTree:
+    """A trained SpliDT model: subtrees indexed by subtree id (SID)."""
+
+    config: SpliDTConfig
+    subtrees: dict[int, Subtree]
+    root_sid: int
+    n_classes: int
+    class_names: list[str] = field(default_factory=list)
+    default_label: int = 0
+
+    # ------------------------------------------------------------------
+    # Structure statistics (used by Tables 1 and 3)
+    # ------------------------------------------------------------------
+    @property
+    def n_subtrees(self) -> int:
+        """Number of trained subtrees."""
+        return len(self.subtrees)
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of partitions in the configuration."""
+        return self.config.n_partitions
+
+    @property
+    def total_depth(self) -> int:
+        """Sum of realised subtree depths along the deepest partition chain."""
+        depth_by_partition: dict[int, int] = {}
+        for subtree in self.subtrees.values():
+            depth_by_partition[subtree.partition] = max(
+                depth_by_partition.get(subtree.partition, 0), subtree.depth
+            )
+        return sum(depth_by_partition.values())
+
+    def subtrees_in_partition(self, partition: int) -> list[Subtree]:
+        """Subtrees belonging to one partition, ordered by SID."""
+        return sorted(
+            (s for s in self.subtrees.values() if s.partition == partition),
+            key=lambda s: s.sid,
+        )
+
+    def features_used(self) -> set[int]:
+        """Distinct features used anywhere in the model (the paper's #Features)."""
+        used: set[int] = set()
+        for subtree in self.subtrees.values():
+            used |= subtree.features_used()
+        return used
+
+    def features_per_partition(self) -> dict[int, set[int]]:
+        """Union of features used by the subtrees of each partition."""
+        result: dict[int, set[int]] = {}
+        for subtree in self.subtrees.values():
+            result.setdefault(subtree.partition, set()).update(subtree.features_used())
+        return result
+
+    def feature_density(self, n_features: int = N_FEATURES) -> dict[str, float]:
+        """Feature-density statistics (% of N), per partition and per subtree.
+
+        Mirrors the paper's Table 1: the mean (and std) fraction of the full
+        feature catalogue used by a partition and by an individual subtree.
+        """
+        per_partition = [
+            100.0 * len(features) / n_features
+            for features in self.features_per_partition().values()
+        ]
+        per_subtree = [
+            100.0 * len(subtree.features_used()) / n_features
+            for subtree in self.subtrees.values()
+        ]
+        return {
+            "partition_mean": float(np.mean(per_partition)) if per_partition else 0.0,
+            "partition_std": float(np.std(per_partition)) if per_partition else 0.0,
+            "subtree_mean": float(np.mean(per_subtree)) if per_subtree else 0.0,
+            "subtree_std": float(np.std(per_subtree)) if per_subtree else 0.0,
+        }
+
+    def max_features_per_subtree(self) -> int:
+        """Largest number of distinct features any single subtree uses (≤ k)."""
+        if not self.subtrees:
+            return 0
+        return max(len(s.features_used()) for s in self.subtrees.values())
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict_windows(self, window_features: np.ndarray) -> np.ndarray:
+        """Classify flows from their per-window feature matrices.
+
+        Args:
+            window_features: Array ``(n_partitions, n_flows, n_features)`` —
+                the same layout ``WindowedDataset.window_features`` uses.
+
+        Returns:
+            Predicted labels, one per flow.
+        """
+        if window_features.ndim != 3:
+            raise ValueError("window_features must have shape (P, n_flows, n_features)")
+        if window_features.shape[0] < self.n_partitions:
+            raise ValueError(
+                f"need {self.n_partitions} windows, got {window_features.shape[0]}"
+            )
+        n_flows = window_features.shape[1]
+        predictions = np.full(n_flows, self.default_label, dtype=np.intp)
+        for flow_index in range(n_flows):
+            predictions[flow_index] = self._predict_single(window_features[:, flow_index, :])
+        return predictions
+
+    def _predict_single(self, windows: np.ndarray) -> int:
+        sid = self.root_sid
+        for _ in range(self.n_partitions):
+            subtree = self.subtrees.get(sid)
+            if subtree is None:
+                return self.default_label
+            vector = windows[subtree.partition].reshape(1, -1)
+            leaf_id = int(subtree.tree.apply(vector)[0])
+            outcome = subtree.outcomes.get(leaf_id)
+            if outcome is None:
+                return self.default_label
+            if outcome.kind == OUTCOME_EXIT:
+                return int(outcome.label)
+            sid = int(outcome.next_sid)
+        # Ran out of partitions without an exit (should not happen): fall back.
+        return self.default_label
+
+    def trace_windows(self, windows: np.ndarray) -> list[tuple[int, int]]:
+        """Return the (partition, sid) sequence one flow's inference visits.
+
+        Used by the data-plane runtime and by tests to check that the number
+        of recirculations equals ``len(trace) - 1``.
+        """
+        trace = []
+        sid = self.root_sid
+        for _ in range(self.n_partitions):
+            subtree = self.subtrees.get(sid)
+            if subtree is None:
+                break
+            trace.append((subtree.partition, sid))
+            vector = windows[subtree.partition].reshape(1, -1)
+            leaf_id = int(subtree.tree.apply(vector)[0])
+            outcome = subtree.outcomes.get(leaf_id)
+            if outcome is None or outcome.kind == OUTCOME_EXIT:
+                break
+            sid = int(outcome.next_sid)
+        return trace
+
+
+def train_partitioned_tree(
+    windowed: WindowedDataset,
+    config: SpliDTConfig,
+    *,
+    split: str = "train",
+    random_state: int = 0,
+) -> PartitionedDecisionTree:
+    """Train a partitioned decision tree (the paper's Algorithm 1).
+
+    Args:
+        windowed: Materialised window-feature dataset (must have at least
+            ``config.n_partitions`` windows).
+        config: The model hyper-parameters.
+        split: Which split of the dataset to train on.
+        random_state: Seed forwarded to the CART learner.
+
+    Returns:
+        The trained :class:`PartitionedDecisionTree`.
+    """
+    if windowed.n_partitions < config.n_partitions:
+        raise ValueError(
+            f"dataset materialised with {windowed.n_partitions} windows but the "
+            f"configuration needs {config.n_partitions}"
+        )
+
+    labels = windowed.split_labels(split)
+    matrices = [
+        windowed.partition_matrix(partition, split) for partition in range(config.n_partitions)
+    ]
+    n_samples = labels.shape[0]
+    if n_samples == 0:
+        raise ValueError("cannot train on an empty split")
+
+    default_label = int(np.bincount(labels).argmax())
+    model = PartitionedDecisionTree(
+        config=config,
+        subtrees={},
+        root_sid=1,
+        n_classes=windowed.n_classes,
+        class_names=list(windowed.class_names),
+        default_label=default_label,
+    )
+
+    next_sid = [1]  # boxed counter shared by the recursion
+
+    def allocate_sid() -> int:
+        sid = next_sid[0]
+        next_sid[0] += 1
+        return sid
+
+    def train_recursive(sample_indices: np.ndarray, partition: int) -> int:
+        """Train the subtree for ``partition`` on ``sample_indices``; return its SID."""
+        sid = allocate_sid()
+        X = matrices[partition][sample_indices]
+        y = labels[sample_indices]
+
+        tree = DecisionTreeClassifier(
+            max_depth=config.partition_sizes[partition],
+            max_distinct_features=config.features_per_subtree,
+            min_samples_leaf=config.min_samples_leaf,
+            criterion=config.criterion,
+            random_state=random_state + sid,
+        )
+        tree.fit(X, y)
+
+        subtree = Subtree(
+            sid=sid,
+            partition=partition,
+            tree=tree,
+            n_training_samples=int(sample_indices.size),
+        )
+        model.subtrees[sid] = subtree
+
+        leaf_ids = tree.apply(X)
+        is_last_partition = partition == config.n_partitions - 1
+        for leaf in tree.tree_.leaves():
+            leaf_sample_mask = leaf_ids == leaf.node_id
+            leaf_samples = sample_indices[leaf_sample_mask]
+            majority = int(tree.classes_[int(np.argmax(leaf.value))]) if leaf.value.sum() else default_label
+
+            # A leaf spawns a child subtree only if there is a next partition,
+            # the leaf actually reached this partition's maximum depth (early
+            # exits stop here), and there are samples left to specialise on.
+            reached_max_depth = leaf.depth >= config.partition_sizes[partition]
+            if is_last_partition or not reached_max_depth or leaf_samples.size == 0:
+                subtree.outcomes[leaf.node_id] = LeafOutcome(kind=OUTCOME_EXIT, label=majority)
+                continue
+
+            # Pure leaves exit early as well — there is nothing left to learn.
+            if np.unique(labels[leaf_samples]).size <= 1:
+                subtree.outcomes[leaf.node_id] = LeafOutcome(kind=OUTCOME_EXIT, label=majority)
+                continue
+
+            child_sid = train_recursive(leaf_samples, partition + 1)
+            subtree.outcomes[leaf.node_id] = LeafOutcome(kind=OUTCOME_NEXT, next_sid=child_sid)
+        return sid
+
+    train_recursive(np.arange(n_samples, dtype=np.intp), 0)
+    return model

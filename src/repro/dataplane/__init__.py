@@ -1,0 +1,20 @@
+"""Data-plane execution of compiled models on the switch substrate."""
+
+from repro.dataplane.codegen import generate_p4_program, generate_table_entries
+from repro.dataplane.controller import Controller, Digest
+from repro.dataplane.runtime import ReplayResult, replay_dataset, ttd_ecdf
+from repro.dataplane.splidt_program import FlowVerdict, SpliDTDataPlane
+from repro.dataplane.topk_program import TopKDataPlane
+
+__all__ = [
+    "Controller",
+    "Digest",
+    "FlowVerdict",
+    "ReplayResult",
+    "SpliDTDataPlane",
+    "TopKDataPlane",
+    "generate_p4_program",
+    "generate_table_entries",
+    "replay_dataset",
+    "ttd_ecdf",
+]

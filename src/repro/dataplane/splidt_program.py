@@ -1,0 +1,285 @@
+"""The SpliDT data-plane program, executed on the switch model.
+
+This mirrors the P4 program of Figure 4: per packet, the program
+
+1. hashes the 5-tuple to a register slot and reads the reserved state
+   (subtree id and per-window packet counter),
+2. updates the dependency chain and the ``k`` feature slots through the
+   operator-selection MATs of the *active* subtree,
+3. at a window boundary (derived from the flow-size information carried in
+   the packet header, as with Homa/NDP), generates the match keys from the
+   feature registers, looks up the subtree's model rules, and either
+   * emits a classification digest (final partition or early exit), or
+   * recirculates a control packet carrying the next subtree id, which
+     clears the feature and dependency registers and updates the SID.
+
+State is held in the pipeline's register arrays, indexed by the CRC32 flow
+hash, so hash collisions corrupt state exactly as they would on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.partitioned_tree import PartitionedDecisionTree
+from repro.core.range_marking import RuleSet
+from repro.dataplane.controller import Controller, Digest
+from repro.datasets.flows import FiveTuple
+from repro.features.definitions import FEATURES, N_FEATURES, feature_names
+from repro.features.stateful import StatefulOperator, make_operator
+from repro.features.window import window_boundaries
+from repro.switch.hashing import FlowIndexer
+from repro.switch.phv import Phv, make_control_phv
+from repro.switch.pipeline import Pipeline
+from repro.switch.targets import TOFINO1, TargetSpec
+
+
+@dataclass
+class FlowVerdict:
+    """Final classification of one flow as observed by the data plane."""
+
+    flow_id: int
+    label: int
+    decided_at: float
+    first_packet_at: float
+    n_recirculations: int
+    early_exit: bool
+
+    @property
+    def time_to_detection(self) -> float:
+        """Seconds from the start of tree traversal to the final decision."""
+        return max(self.decided_at - self.first_packet_at, 0.0)
+
+
+@dataclass
+class _FlowState:
+    """Per-flow-slot simulation state (the contents of the register slot)."""
+
+    sid: int
+    five_tuple: FiveTuple | None = None
+    packets_seen: int = 0
+    window_index: int = 0
+    first_packet_at: float = 0.0
+    n_recirculations: int = 0
+    operators: dict[int, StatefulOperator] = field(default_factory=dict)
+    stateless: dict[int, float] = field(default_factory=dict)
+    decided: bool = False
+
+
+class SpliDTDataPlane:
+    """Packet-by-packet execution of a compiled SpliDT model."""
+
+    def __init__(
+        self,
+        model: PartitionedDecisionTree,
+        rules: RuleSet,
+        *,
+        target: TargetSpec = TOFINO1,
+        flow_slots: int = 4096,
+    ) -> None:
+        self.model = model
+        self.rules = rules
+        self.target = target
+        self.pipeline = Pipeline(target)
+        self.controller = Controller(self.pipeline)
+        self.indexer = FlowIndexer(flow_slots)
+        self.flow_slots = flow_slots
+
+        self._names = feature_names()
+        self._flow_state: dict[int, _FlowState] = {}
+        self._verdicts: dict[int, FlowVerdict] = {}
+
+        self._allocate_registers()
+        self.controller.install_rules(rules, feature_table_stage=3, model_table_stage=5)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _allocate_registers(self) -> None:
+        k = self.model.config.features_per_subtree
+        width = min(self.model.config.bit_width, 32)
+        self.pipeline.allocate_register("sid", size=self.flow_slots, width=8, stage=0)
+        self.pipeline.allocate_register("pkt_count", size=self.flow_slots, width=16, stage=0)
+        for chain in range(2):
+            self.pipeline.allocate_register(
+                f"dependency_{chain}", size=self.flow_slots, width=32, stage=1 + chain
+            )
+        for slot in range(k):
+            self.pipeline.allocate_register(
+                f"feature_slot_{slot}", size=self.flow_slots, width=width, stage=3
+            )
+
+    # ------------------------------------------------------------------
+    # Packet path
+    # ------------------------------------------------------------------
+    def process_packet(self, phv: Phv, flow_id: int, flow_size: int) -> FlowVerdict | None:
+        """Run one data packet through the pipeline.
+
+        Args:
+            phv: The parsed packet.
+            flow_id: Identifier used for verdict bookkeeping (not visible to
+                the data plane itself).
+            flow_size: Total packets of the flow, as carried in the packet
+                header (Homa/NDP flow-size field) — used to derive window
+                boundaries.
+
+        Returns:
+            The flow's verdict if this packet triggered the final decision.
+        """
+        slot = self.indexer.index_for(phv.five_tuple)
+        state = self._flow_state.get(slot)
+        if state is not None and state.decided:
+            if state.five_tuple == phv.five_tuple:
+                # The flow already received its verdict; remaining packets are
+                # forwarded without further inference (terminal SID).
+                return None
+            state = None  # a new flow reclaims the slot
+        if state is None:
+            state = _FlowState(
+                sid=self.model.root_sid,
+                five_tuple=phv.five_tuple,
+                first_packet_at=phv.packet.timestamp,
+            )
+            state.stateless = self._stateless_values(phv)
+            self._flow_state[slot] = state
+            self.pipeline.registers["sid"].write(slot, state.sid)
+            self.pipeline.registers["pkt_count"].write(slot, 0)
+            self._activate_subtree(state)
+
+        state.packets_seen += 1
+        self.pipeline.registers["pkt_count"].write(slot, state.packets_seen)
+
+        # Feature collection for the active subtree.
+        for operator in state.operators.values():
+            operator.update(phv.packet)
+        self._mirror_feature_registers(slot, state)
+
+        # Window boundary check (flow-size-derived uniform windows).
+        boundaries = window_boundaries(flow_size, self.model.config.n_partitions)
+        boundary = boundaries[min(state.window_index, len(boundaries) - 1)]
+        if state.packets_seen < boundary and state.packets_seen < flow_size:
+            return None
+
+        return self._window_boundary(phv, flow_id, slot, state)
+
+    def _window_boundary(
+        self, phv: Phv, flow_id: int, slot: int, state: _FlowState
+    ) -> FlowVerdict | None:
+        feature_vector = self._feature_vector(state)
+        outcome = self.rules.classify(state.sid, feature_vector)
+        timestamp = phv.packet.timestamp
+
+        if outcome is None:
+            # No rule matched (quantisation corner); fall back to the default.
+            return self._finalise(flow_id, slot, state, self.model.default_label, timestamp, False)
+
+        kind, value = outcome
+        is_last_window = state.window_index >= self.model.config.n_partitions - 1
+        if kind == "exit" or is_last_window:
+            label = value if kind == "exit" else self.model.default_label
+            return self._finalise(flow_id, slot, state, label, timestamp, kind == "exit" and not is_last_window)
+
+        # Transition to the next subtree via a recirculated control packet.
+        control = make_control_phv(phv.five_tuple, next_sid=value, timestamp=timestamp)
+        self.pipeline.recirculation.submit(control, timestamp)
+        self._apply_control(control, slot, state)
+        return None
+
+    def _apply_control(self, control: Phv, slot: int, state: _FlowState) -> None:
+        """Consume a recirculated control packet: update SID, clear registers."""
+        for released in self.pipeline.recirculation.ready(control.packet.timestamp + 1.0):
+            next_sid = released.get("next_sid")
+            state.sid = int(next_sid)
+            state.window_index += 1
+            state.n_recirculations += 1
+            self.pipeline.registers["sid"].write(slot, state.sid)
+            self.pipeline.registers["pkt_count"].write(slot, state.packets_seen)
+            for name in self.pipeline.registers.arrays:
+                if name.startswith("feature_slot_") or name.startswith("dependency_"):
+                    self.pipeline.registers[name].clear(slot)
+            self._activate_subtree(state)
+
+    def _finalise(
+        self,
+        flow_id: int,
+        slot: int,
+        state: _FlowState,
+        label: int,
+        timestamp: float,
+        early_exit: bool,
+    ) -> FlowVerdict:
+        verdict = FlowVerdict(
+            flow_id=flow_id,
+            label=int(label),
+            decided_at=timestamp,
+            first_packet_at=state.first_packet_at,
+            n_recirculations=state.n_recirculations,
+            early_exit=early_exit,
+        )
+        self._verdicts[flow_id] = verdict
+        self.controller.receive_digest(
+            Digest(flow_id=flow_id, label=int(label), timestamp=timestamp, sid=state.sid)
+        )
+        state.decided = True
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _activate_subtree(self, state: _FlowState) -> None:
+        """Load the operator bank for the features of the newly active subtree."""
+        subtree = self.model.subtrees.get(state.sid)
+        features = sorted(subtree.features_used()) if subtree is not None else []
+        state.operators = {}
+        for feature in features:
+            definition = FEATURES[feature]
+            if definition.stateful:
+                state.operators[feature] = make_operator(definition.name)
+
+    def _mirror_feature_registers(self, slot: int, state: _FlowState) -> None:
+        """Write the operator values into the k feature-slot registers."""
+        for position, (feature, operator) in enumerate(sorted(state.operators.items())):
+            if position >= self.model.config.features_per_subtree:
+                break
+            register = self.pipeline.registers[f"feature_slot_{position}"]
+            register.write(slot, min(operator.value, register.max_value))
+
+    def _feature_vector(self, state: _FlowState) -> np.ndarray:
+        """Assemble the feature vector visible to the active subtree."""
+        vector = np.zeros(N_FEATURES, dtype=float)
+        for feature, value in state.stateless.items():
+            vector[feature] = value
+        for feature, operator in state.operators.items():
+            vector[feature] = operator.value
+        return vector
+
+    @staticmethod
+    def _stateless_values(phv: Phv) -> dict[int, float]:
+        """Per-packet (stateless) header fields available to every subtree."""
+        values: dict[int, float] = {}
+        by_name = {definition.name: definition.index for definition in FEATURES}
+        values[by_name["src_port"]] = float(phv.five_tuple.src_port)
+        values[by_name["dst_port"]] = float(phv.five_tuple.dst_port)
+        values[by_name["protocol"]] = float(phv.five_tuple.protocol)
+        values[by_name["pkt_len_first"]] = float(phv.packet.size)
+        return values
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def verdicts(self) -> dict[int, FlowVerdict]:
+        """Verdicts recorded so far, keyed by flow id."""
+        return dict(self._verdicts)
+
+    def recirculation_stats(self) -> dict[str, float]:
+        """Recirculation counters of the underlying channel."""
+        channel = self.pipeline.recirculation
+        return {
+            "packets": float(channel.packets_recirculated),
+            "bytes": float(channel.bytes_recirculated),
+            "mean_bps": channel.mean_bandwidth_bps(),
+            "utilisation": channel.utilisation(),
+        }

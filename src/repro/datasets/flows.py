@@ -1,0 +1,149 @@
+"""Packet- and flow-level data model.
+
+These classes are the common currency between the synthetic traffic
+generators, the flow-feature engine, and the data-plane simulator: a
+:class:`Flow` is a labelled sequence of :class:`Packet` objects identified by
+a :class:`FiveTuple`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: TCP flag bit positions used across the repository.
+TCP_FLAGS = {"FIN": 0x01, "SYN": 0x02, "RST": 0x04, "PSH": 0x08, "ACK": 0x10, "URG": 0x20}
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """Flow identifier: source/destination address and port plus protocol."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def as_bytes(self) -> bytes:
+        """Canonical byte encoding used for CRC32 hashing in the data plane."""
+        return (
+            int(self.src_ip).to_bytes(4, "big")
+            + int(self.dst_ip).to_bytes(4, "big")
+            + int(self.src_port).to_bytes(2, "big")
+            + int(self.dst_port).to_bytes(2, "big")
+            + int(self.protocol).to_bytes(1, "big")
+        )
+
+
+@dataclass
+class Packet:
+    """A single packet observation.
+
+    Attributes:
+        timestamp: Arrival time in seconds since the start of the trace.
+        size: Total packet length in bytes.
+        flags: TCP flag bitmap (0 for UDP).
+        direction: +1 for forward (client→server), -1 for backward.
+        payload: Payload length in bytes.
+    """
+
+    timestamp: float
+    size: int
+    flags: int = 0
+    direction: int = 1
+    payload: int = 0
+
+    def has_flag(self, name: str) -> bool:
+        """Whether the TCP flag ``name`` (e.g. ``"SYN"``) is set."""
+        return bool(self.flags & TCP_FLAGS[name])
+
+
+@dataclass
+class Flow:
+    """A labelled flow: a five-tuple plus its time-ordered packets."""
+
+    five_tuple: FiveTuple
+    packets: list[Packet]
+    label: int
+    class_name: str = ""
+    flow_id: int = 0
+
+    @property
+    def n_packets(self) -> int:
+        """Number of packets in the flow."""
+        return len(self.packets)
+
+    @property
+    def n_bytes(self) -> int:
+        """Total bytes across all packets."""
+        return sum(p.size for p in self.packets)
+
+    @property
+    def duration(self) -> float:
+        """Time between the first and last packet (seconds)."""
+        if len(self.packets) < 2:
+            return 0.0
+        return self.packets[-1].timestamp - self.packets[0].timestamp
+
+    def sorted_by_time(self) -> "Flow":
+        """Return a copy whose packets are sorted by timestamp."""
+        ordered = sorted(self.packets, key=lambda p: p.timestamp)
+        return Flow(
+            five_tuple=self.five_tuple,
+            packets=ordered,
+            label=self.label,
+            class_name=self.class_name,
+            flow_id=self.flow_id,
+        )
+
+
+@dataclass
+class FlowDataset:
+    """A collection of labelled flows plus class metadata.
+
+    Attributes:
+        name: Dataset identifier (``"D1"`` … ``"D7"`` or custom).
+        description: Human-readable summary.
+        flows: The labelled flows.
+        class_names: Index-aligned class names.
+    """
+
+    name: str
+    description: str
+    flows: list[Flow]
+    class_names: list[str]
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_flows(self) -> int:
+        """Number of flows."""
+        return len(self.flows)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes."""
+        return len(self.class_names)
+
+    def labels(self) -> np.ndarray:
+        """Label vector aligned with :attr:`flows`."""
+        return np.array([flow.label for flow in self.flows], dtype=np.intp)
+
+    def class_counts(self) -> np.ndarray:
+        """Per-class flow counts."""
+        return np.bincount(self.labels(), minlength=self.n_classes)
+
+    def subset(self, indices: np.ndarray) -> "FlowDataset":
+        """Return a new dataset containing only the flows at ``indices``."""
+        flows = [self.flows[int(i)] for i in indices]
+        return FlowDataset(
+            name=self.name,
+            description=self.description,
+            flows=flows,
+            class_names=list(self.class_names),
+            metadata=dict(self.metadata),
+        )

@@ -1,0 +1,143 @@
+"""Profiles of the seven evaluation datasets (D1–D7).
+
+The paper evaluates on CIC-IoMT-2024, CIC-IoT-2023 (two variants),
+ISCX-VPN-2016, a UCSB campus trace, and CIC-IDS-2017/2018.  Those captures are
+not redistributable, so each profile here parameterises a *synthetic
+equivalent* with the same class count and a qualitative difficulty knob.  The
+synthetic generator (:mod:`repro.datasets.generators`) uses the profile to
+derive per-class behavioural signatures.
+
+Two properties of the real datasets matter for SpliDT and are preserved:
+
+* classes are distinguished by *different, small subsets* of features
+  (feature sparsity per subtree), and
+* class behaviour drifts over a flow's lifetime, so window-local features
+  carry phase-specific signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Static description of one evaluation dataset.
+
+    Attributes:
+        key: Dataset key (``"D1"`` … ``"D7"``).
+        source_name: Name of the real dataset being emulated.
+        description: One-line summary (mirrors the paper's Table 2).
+        n_classes: Number of traffic classes.
+        separability: How cleanly classes separate (0–1); lower values model
+            the noisier datasets (e.g. D5) whose best F1 in the paper is low.
+        signature_features: Number of features that carry class signal for a
+            typical class (controls per-subtree feature sparsity).
+        mean_flow_packets: Mean packets per flow (log-normal).
+        label_noise: Fraction of flows whose label is randomly flipped.
+        drift: Strength of behavioural drift across flow phases (0–1); higher
+            drift makes later windows more informative.
+    """
+
+    key: str
+    source_name: str
+    description: str
+    n_classes: int
+    separability: float
+    signature_features: int
+    mean_flow_packets: float
+    label_noise: float
+    drift: float
+
+
+#: Profiles keyed by dataset id, mirroring the paper's Table 2.
+PROFILES: dict[str, DatasetProfile] = {
+    "D1": DatasetProfile(
+        key="D1",
+        source_name="CIC-IoMT-2024",
+        description="Internet of Medical Things traffic for healthcare intrusion detection.",
+        n_classes=19,
+        separability=0.58,
+        signature_features=4,
+        mean_flow_packets=48,
+        label_noise=0.08,
+        drift=0.55,
+    ),
+    "D2": DatasetProfile(
+        key="D2",
+        source_name="CIC-IoT-2023-a",
+        description="Simplified CIC-IoT-2023 with four primary IoT traffic classes.",
+        n_classes=4,
+        separability=0.82,
+        signature_features=5,
+        mean_flow_packets=64,
+        label_noise=0.04,
+        drift=0.45,
+    ),
+    "D3": DatasetProfile(
+        key="D3",
+        source_name="ISCX-VPN-2016",
+        description="VPN and non-VPN traffic for VPN detection and privacy analyses.",
+        n_classes=13,
+        separability=0.78,
+        signature_features=4,
+        mean_flow_packets=96,
+        label_noise=0.05,
+        drift=0.60,
+    ),
+    "D4": DatasetProfile(
+        key="D4",
+        source_name="CampusTraffic",
+        description="UCSB campus trace with web, cloud, social and streaming applications.",
+        n_classes=11,
+        separability=0.68,
+        signature_features=4,
+        mean_flow_packets=80,
+        label_noise=0.07,
+        drift=0.50,
+    ),
+    "D5": DatasetProfile(
+        key="D5",
+        source_name="CIC-IoT-2023-b",
+        description="Full multi-class CIC-IoT-2023 for IoT security threats.",
+        n_classes=32,
+        separability=0.45,
+        signature_features=3,
+        mean_flow_packets=40,
+        label_noise=0.12,
+        drift=0.40,
+    ),
+    "D6": DatasetProfile(
+        key="D6",
+        source_name="CIC-IDS-2017",
+        description="Network intrusion detection with DoS, DDoS and brute-force attacks.",
+        n_classes=10,
+        separability=0.90,
+        signature_features=5,
+        mean_flow_packets=72,
+        label_noise=0.02,
+        drift=0.55,
+    ),
+    "D7": DatasetProfile(
+        key="D7",
+        source_name="CIC-IDS-2018",
+        description="Anomaly detection capture with diverse attacks and benign traffic.",
+        n_classes=10,
+        separability=0.94,
+        signature_features=5,
+        mean_flow_packets=88,
+        label_noise=0.015,
+        drift=0.60,
+    ),
+}
+
+#: Dataset keys in evaluation order.
+DATASET_KEYS: tuple[str, ...] = tuple(sorted(PROFILES))
+
+
+def get_profile(key: str) -> DatasetProfile:
+    """Look up a dataset profile by key (``"D1"`` … ``"D7"``)."""
+    try:
+        return PROFILES[key]
+    except KeyError as exc:
+        raise KeyError(f"unknown dataset {key!r}; expected one of {DATASET_KEYS}") from exc

@@ -1,0 +1,63 @@
+"""Window segmentation of flows.
+
+SpliDT processes each flow in uniform windows of packets — one window per DT
+partition.  The helpers here slice a flow's packet list into the windows each
+partition observes and compute the window boundaries the data plane uses
+(packet-count boundaries derived from the flow size carried in packet headers,
+per the paper's use of Homa/NDP-style flow-size fields).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.flows import Flow, Packet
+
+
+def window_boundaries(n_packets: int, n_windows: int) -> list[int]:
+    """Packet-count boundaries of ``n_windows`` uniform windows.
+
+    Returns a list of length ``n_windows`` whose entry ``i`` is the index of
+    the first packet *after* window ``i`` (i.e. exclusive end).  The last
+    boundary always equals ``n_packets``.  Windows are as uniform as possible;
+    when ``n_packets < n_windows`` the early windows get one packet each and
+    the remaining windows are empty.
+    """
+    if n_windows < 1:
+        raise ValueError("n_windows must be >= 1")
+    if n_packets < 0:
+        raise ValueError("n_packets must be >= 0")
+    base = n_packets // n_windows
+    remainder = n_packets % n_windows
+    boundaries = []
+    cursor = 0
+    for i in range(n_windows):
+        size = base + (1 if i < remainder else 0)
+        cursor += size
+        boundaries.append(cursor)
+    return boundaries
+
+
+def split_packets(packets: list[Packet], n_windows: int) -> list[list[Packet]]:
+    """Split ``packets`` into ``n_windows`` uniform, contiguous windows."""
+    boundaries = window_boundaries(len(packets), n_windows)
+    windows = []
+    start = 0
+    for end in boundaries:
+        windows.append(packets[start:end])
+        start = end
+    return windows
+
+
+def split_flow(flow: Flow, n_windows: int) -> list[list[Packet]]:
+    """Split a flow's packets into windows (packets assumed time-ordered)."""
+    return split_packets(flow.packets, n_windows)
+
+
+def window_of_packet(packet_index: int, n_packets: int, n_windows: int) -> int:
+    """Index of the window that the ``packet_index``-th packet falls into."""
+    if packet_index < 0 or packet_index >= max(n_packets, 1):
+        raise ValueError("packet_index out of range")
+    boundaries = window_boundaries(n_packets, n_windows)
+    for window_index, end in enumerate(boundaries):
+        if packet_index < end:
+            return window_index
+    return len(boundaries) - 1

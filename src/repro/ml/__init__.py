@@ -1,0 +1,45 @@
+"""Minimal, numpy-based machine-learning substrate.
+
+The SpliDT paper trains its partitioned decision trees with scikit-learn's
+``DecisionTreeClassifier``.  That library is not available offline, so this
+package provides the pieces the system needs, implemented from scratch:
+
+* :class:`DecisionTreeClassifier` / :class:`DecisionTreeRegressor` — CART with
+  gini/entropy (classification) or MSE (regression) splitting, plus a
+  *feature budget*: the tree may use at most ``max_distinct_features``
+  different features, the constraint SpliDT places on each subtree.
+* :class:`RandomForestClassifier` / :class:`RandomForestRegressor` — bagged
+  ensembles (also used as a Bayesian-optimisation surrogate).
+* metrics (accuracy, precision/recall/F1 with macro and weighted averaging,
+  confusion matrices) and ``train_test_split``.
+"""
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+    precision_score,
+    recall_score,
+)
+from repro.ml.model_selection import StratifiedKFold, train_test_split
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml._tree import Tree, TreeNode
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "Tree",
+    "TreeNode",
+    "accuracy_score",
+    "confusion_matrix",
+    "f1_score",
+    "precision_recall_f1",
+    "precision_score",
+    "recall_score",
+    "train_test_split",
+    "StratifiedKFold",
+]

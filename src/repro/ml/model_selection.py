@@ -1,0 +1,84 @@
+"""Dataset splitting utilities (train/test split and stratified K-fold)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    test_size: float = 0.25,
+    stratify: bool = True,
+    random_state: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(X, y)`` into train and test partitions.
+
+    Args:
+        X: Feature matrix.
+        y: Labels (used for stratification).
+        test_size: Fraction of samples assigned to the test split (0, 1).
+        stratify: Preserve per-class proportions when True.
+        random_state: Seed for the shuffle.
+
+    Returns:
+        ``(X_train, X_test, y_train, y_test)``.
+    """
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y have mismatched lengths")
+    rng = np.random.default_rng(random_state)
+    n_samples = X.shape[0]
+
+    test_mask = np.zeros(n_samples, dtype=bool)
+    if stratify:
+        for cls in np.unique(y):
+            class_indices = np.flatnonzero(y == cls)
+            rng.shuffle(class_indices)
+            n_test = max(1, int(round(class_indices.size * test_size)))
+            n_test = min(n_test, class_indices.size - 1) if class_indices.size > 1 else 1
+            test_mask[class_indices[:n_test]] = True
+    else:
+        indices = rng.permutation(n_samples)
+        n_test = max(1, int(round(n_samples * test_size)))
+        test_mask[indices[:n_test]] = True
+
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class StratifiedKFold:
+    """Stratified K-fold cross-validation splitter.
+
+    Yields ``(train_indices, test_indices)`` pairs with per-class balance
+    approximately preserved in every fold.
+    """
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = True, random_state: int | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X: np.ndarray, y: np.ndarray) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Generate train/test index pairs."""
+        y = np.asarray(y)
+        n_samples = y.shape[0]
+        rng = np.random.default_rng(self.random_state)
+        fold_assignment = np.zeros(n_samples, dtype=np.intp)
+        for cls in np.unique(y):
+            class_indices = np.flatnonzero(y == cls)
+            if self.shuffle:
+                rng.shuffle(class_indices)
+            folds = np.arange(class_indices.size) % self.n_splits
+            fold_assignment[class_indices] = folds
+        for fold in range(self.n_splits):
+            test_indices = np.flatnonzero(fold_assignment == fold)
+            train_indices = np.flatnonzero(fold_assignment != fold)
+            yield train_indices, test_indices

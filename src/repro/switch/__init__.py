@@ -1,0 +1,46 @@
+"""RMT switch substrate: targets, pipeline, MATs, TCAM, registers, recirculation.
+
+This package models the hardware the paper deploys on (Tofino-class RMT
+switches) at the level of abstraction the paper's own feasibility analysis
+uses: stages, match-action tables (exact and ternary), per-stage register
+arrays, the packet header vector, and the recirculation path.
+"""
+
+from repro.switch.hashing import FlowIndexer, crc32, crc32_reference, hash_five_tuple, register_index
+from repro.switch.mat import ExactMatchEntry, ExactMatchTable, Stage
+from repro.switch.phv import Phv, make_control_phv, make_data_phv
+from repro.switch.pipeline import Pipeline, ResourceReport
+from repro.switch.recirculation import RecirculationChannel
+from repro.switch.registers import RegisterArray, RegisterFile
+from repro.switch.targets import BLUEFIELD3, TARGETS, TOFINO1, TOFINO2, TRIDENT4, TargetSpec, get_target
+from repro.switch.tcam import TcamEntry, TcamTable, TernaryMatch, range_to_ternary
+
+__all__ = [
+    "BLUEFIELD3",
+    "ExactMatchEntry",
+    "ExactMatchTable",
+    "FlowIndexer",
+    "Phv",
+    "Pipeline",
+    "RecirculationChannel",
+    "RegisterArray",
+    "RegisterFile",
+    "ResourceReport",
+    "Stage",
+    "TARGETS",
+    "TOFINO1",
+    "TOFINO2",
+    "TRIDENT4",
+    "TargetSpec",
+    "TcamEntry",
+    "TcamTable",
+    "TernaryMatch",
+    "crc32",
+    "crc32_reference",
+    "get_target",
+    "hash_five_tuple",
+    "make_control_phv",
+    "make_data_phv",
+    "range_to_ternary",
+    "register_index",
+]

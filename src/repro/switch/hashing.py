@@ -1,0 +1,82 @@
+"""CRC32 flow hashing.
+
+SpliDT indexes every per-flow register array with a CRC32 hash of the packet's
+5-tuple.  The implementation below is the standard reflected CRC-32
+(polynomial 0xEDB88320, the same algorithm Tofino's hash engine provides), with
+a helper that reduces the digest to a register index and reports collisions.
+"""
+
+from __future__ import annotations
+
+import binascii
+
+from repro.datasets.flows import FiveTuple
+
+
+def crc32(data: bytes) -> int:
+    """CRC-32 (IEEE, reflected) of ``data`` as an unsigned 32-bit integer."""
+    return binascii.crc32(data) & 0xFFFFFFFF
+
+
+def crc32_reference(data: bytes) -> int:
+    """Bit-by-bit CRC-32 used to cross-check the table-driven implementation."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xEDB88320
+            else:
+                crc >>= 1
+    return crc ^ 0xFFFFFFFF
+
+
+def hash_five_tuple(five_tuple: FiveTuple) -> int:
+    """CRC-32 digest of a flow's 5-tuple."""
+    return crc32(five_tuple.as_bytes())
+
+
+def register_index(five_tuple: FiveTuple, table_size: int) -> int:
+    """Register-array index for a flow: CRC-32 digest modulo the array size."""
+    if table_size < 1:
+        raise ValueError("table_size must be >= 1")
+    return hash_five_tuple(five_tuple) % table_size
+
+
+class FlowIndexer:
+    """Maps flows to register slots and tracks hash collisions.
+
+    The data-plane simulator uses this to detect when two concurrent flows
+    land in the same register slot (which corrupts each other's features, as
+    it would on real hardware).
+    """
+
+    def __init__(self, table_size: int) -> None:
+        if table_size < 1:
+            raise ValueError("table_size must be >= 1")
+        self.table_size = table_size
+        self._owners: dict[int, FiveTuple] = {}
+        self.collisions = 0
+        self.lookups = 0
+
+    def index_for(self, five_tuple: FiveTuple) -> int:
+        """Slot index for a flow, recording collisions with other live flows."""
+        self.lookups += 1
+        slot = register_index(five_tuple, self.table_size)
+        owner = self._owners.get(slot)
+        if owner is None:
+            self._owners[slot] = five_tuple
+        elif owner != five_tuple:
+            self.collisions += 1
+        return slot
+
+    def release(self, five_tuple: FiveTuple) -> None:
+        """Mark a flow's slot as free (flow completed / evicted)."""
+        slot = register_index(five_tuple, self.table_size)
+        if self._owners.get(slot) == five_tuple:
+            del self._owners[slot]
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of register slots currently owned by a live flow."""
+        return len(self._owners) / self.table_size

@@ -1,0 +1,90 @@
+"""Match-action tables (exact-match variant) and stage bookkeeping.
+
+The ternary tables live in :mod:`repro.switch.tcam`; this module adds the
+exact-match tables SpliDT uses for operator selection (match on the subtree
+id) and a :class:`Stage` container that enforces the per-stage MAT budget of
+the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.switch.tcam import TcamTable
+
+
+@dataclass
+class ExactMatchEntry:
+    """An exact-match entry: all key fields must equal the stored values."""
+
+    fields: dict[str, int]
+    action: str
+    action_data: dict = field(default_factory=dict)
+
+
+@dataclass
+class ExactMatchTable:
+    """A SRAM-backed exact-match table."""
+
+    name: str
+    key_fields: dict[str, int]
+    entries: list[ExactMatchEntry] = field(default_factory=list)
+    lookups: int = field(default=0, init=False)
+    hits: int = field(default=0, init=False)
+
+    def add_entry(self, entry: ExactMatchEntry) -> None:
+        """Install an entry."""
+        for name in entry.fields:
+            if name not in self.key_fields:
+                raise ValueError(f"field {name!r} not part of table {self.name!r} key")
+        self.entries.append(entry)
+
+    def lookup(self, key: dict[str, int]) -> ExactMatchEntry | None:
+        """First entry whose fields all equal the key's values."""
+        self.lookups += 1
+        for entry in self.entries:
+            if all(key.get(name) == value for name, value in entry.fields.items()):
+                self.hits += 1
+                return entry
+        return None
+
+    @property
+    def n_entries(self) -> int:
+        """Number of installed entries."""
+        return len(self.entries)
+
+    @property
+    def key_width_bits(self) -> int:
+        """Total match-key width in bits."""
+        return sum(self.key_fields.values())
+
+    def memory_bits(self) -> int:
+        """SRAM bits consumed (key + small action overhead per entry)."""
+        return (self.key_width_bits + 32) * self.n_entries
+
+
+@dataclass
+class Stage:
+    """One pipeline stage: a bounded set of parallel MATs plus register arrays."""
+
+    index: int
+    max_mats: int
+    tables: list = field(default_factory=list)
+    register_names: list[str] = field(default_factory=list)
+
+    def add_table(self, table: ExactMatchTable | TcamTable) -> None:
+        """Place a table in this stage, enforcing the per-stage MAT budget."""
+        if len(self.tables) >= self.max_mats:
+            raise ResourceWarning(
+                f"stage {self.index} exceeds its budget of {self.max_mats} MATs"
+            )
+        self.tables.append(table)
+
+    def attach_register(self, name: str) -> None:
+        """Record that a register array lives in this stage."""
+        self.register_names.append(name)
+
+    @property
+    def n_tables(self) -> int:
+        """Number of tables placed in the stage."""
+        return len(self.tables)

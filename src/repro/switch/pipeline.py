@@ -1,0 +1,143 @@
+"""RMT pipeline container and resource accounting.
+
+A :class:`Pipeline` is an ordered list of stages built against one
+:class:`~repro.switch.targets.TargetSpec`.  Programs (the SpliDT data plane,
+the baselines) allocate tables and register arrays into stages; the pipeline
+then reports whether the layout fits the target's budgets — the same check
+the paper's feasibility-testing stage performs with the vendor tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.switch.mat import ExactMatchTable, Stage
+from repro.switch.recirculation import RecirculationChannel
+from repro.switch.registers import RegisterFile
+from repro.switch.targets import TargetSpec
+from repro.switch.tcam import TcamTable
+
+
+@dataclass
+class ResourceReport:
+    """Summary of a pipeline's resource usage versus its target budgets."""
+
+    stages_used: int
+    stages_available: int
+    tcam_bits_used: float
+    tcam_bits_available: float
+    register_bits_used: float
+    register_bits_available: float
+    mats_used: int
+    fits: bool
+    violations: list[str] = field(default_factory=list)
+
+
+class Pipeline:
+    """An RMT pipeline instance bound to a hardware target."""
+
+    def __init__(self, target: TargetSpec) -> None:
+        self.target = target
+        self.stages = [
+            Stage(index=i, max_mats=target.max_mats_per_stage) for i in range(target.n_stages)
+        ]
+        self.registers = RegisterFile()
+        self.recirculation = RecirculationChannel(capacity_bps=target.recirculation_bps)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place_table(self, table: ExactMatchTable | TcamTable, stage: int) -> None:
+        """Place a table in the given stage."""
+        self._check_stage(stage)
+        self.stages[stage].add_table(table)
+
+    def allocate_register(self, name: str, *, size: int, width: int, stage: int):
+        """Allocate a register array in the given stage."""
+        self._check_stage(stage)
+        array = self.registers.allocate(name, size=size, width=width, stage=stage)
+        self.stages[stage].attach_register(name)
+        return array
+
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < len(self.stages):
+            raise IndexError(
+                f"stage {stage} out of range for {self.target.name} "
+                f"({len(self.stages)} stages)"
+            )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def tables(self) -> list:
+        """All tables across all stages."""
+        return [table for stage in self.stages for table in stage.tables]
+
+    def tcam_bits_used(self) -> float:
+        """Total TCAM bits consumed by ternary tables."""
+        return float(
+            sum(
+                table.memory_bits(self.target.tcam_entry_overhead_bits)
+                for table in self.tables()
+                if isinstance(table, TcamTable)
+            )
+        )
+
+    def register_bits_used(self) -> float:
+        """Total register bits allocated."""
+        return float(self.registers.total_bits)
+
+    def stages_used(self) -> int:
+        """Number of stages hosting at least one table or register array."""
+        return sum(
+            1 for stage in self.stages if stage.n_tables > 0 or stage.register_names
+        )
+
+    def resource_report(self) -> ResourceReport:
+        """Check the layout against the target's budgets."""
+        violations = []
+        tcam_used = self.tcam_bits_used()
+        if tcam_used > self.target.tcam_bits:
+            violations.append(
+                f"TCAM over budget: {tcam_used:.0f} > {self.target.tcam_bits:.0f} bits"
+            )
+        register_budget = self.target.register_bits_per_stage * self.target.n_stages
+        register_used = self.register_bits_used()
+        if register_used > register_budget:
+            violations.append(
+                f"registers over budget: {register_used:.0f} > {register_budget:.0f} bits"
+            )
+        per_stage_register_bits: dict[int, int] = {}
+        for array in self.registers.arrays.values():
+            per_stage_register_bits[array.stage] = (
+                per_stage_register_bits.get(array.stage, 0) + array.total_bits
+            )
+        for stage_index, bits in per_stage_register_bits.items():
+            if bits > self.target.register_bits_per_stage:
+                violations.append(
+                    f"stage {stage_index} registers over budget: "
+                    f"{bits} > {self.target.register_bits_per_stage:.0f} bits"
+                )
+        for stage in self.stages:
+            if stage.n_tables > self.target.max_mats_per_stage:
+                violations.append(
+                    f"stage {stage.index} holds {stage.n_tables} MATs "
+                    f"(max {self.target.max_mats_per_stage})"
+                )
+        stages_used = self.stages_used()
+        if stages_used > self.target.n_stages:
+            violations.append(
+                f"{stages_used} stages used but only {self.target.n_stages} available"
+            )
+
+        return ResourceReport(
+            stages_used=stages_used,
+            stages_available=self.target.n_stages,
+            tcam_bits_used=tcam_used,
+            tcam_bits_available=self.target.tcam_bits,
+            register_bits_used=register_used,
+            register_bits_available=register_budget,
+            mats_used=sum(stage.n_tables for stage in self.stages),
+            fits=not violations,
+            violations=violations,
+        )

@@ -1,0 +1,132 @@
+"""Per-stage register arrays.
+
+Registers are the stateful memory of an RMT pipeline: a register array lives
+in one stage, holds ``size`` entries of ``width`` bits, and is read-modify-
+written by at most one ALU action per packet traversal.  SpliDT's feature
+slots, reserved state (subtree id, packet count) and dependency-chain
+intermediates are all register arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RegisterArray:
+    """A register array bound to one pipeline stage.
+
+    Attributes:
+        name: Register name (e.g. ``"feature_slot_0"`` or ``"sid"``).
+        size: Number of entries (one per tracked flow slot).
+        width: Entry width in bits.
+        stage: Pipeline stage index hosting the array.
+    """
+
+    name: str
+    size: int
+    width: int
+    stage: int = 0
+    _values: np.ndarray = field(init=False, repr=False)
+    reads: int = field(default=0, init=False)
+    writes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("size must be >= 1")
+        if self.width < 1 or self.width > 64:
+            raise ValueError("width must be in [1, 64]")
+        self._values = np.zeros(self.size, dtype=np.float64)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value (saturating arithmetic)."""
+        return float(2**self.width - 1)
+
+    @property
+    def total_bits(self) -> int:
+        """Total memory footprint in bits."""
+        return self.size * self.width
+
+    def read(self, index: int) -> float:
+        """Read the entry at ``index``."""
+        self._check_index(index)
+        self.reads += 1
+        return float(self._values[index])
+
+    def write(self, index: int, value: float) -> None:
+        """Write ``value`` (saturating at the register width) to ``index``."""
+        self._check_index(index)
+        self.writes += 1
+        self._values[index] = min(max(float(value), 0.0), self.max_value)
+
+    def add(self, index: int, delta: float) -> float:
+        """Saturating add; returns the new value."""
+        new_value = min(self.read(index) + delta, self.max_value)
+        self.write(index, new_value)
+        return new_value
+
+    def maximum(self, index: int, candidate: float) -> float:
+        """Register-max update; returns the new value."""
+        new_value = max(self.read(index), min(candidate, self.max_value))
+        self.write(index, new_value)
+        return new_value
+
+    def clear(self, index: int) -> None:
+        """Reset one entry to zero (SpliDT's per-window register clear)."""
+        self.write(index, 0.0)
+
+    def clear_all(self) -> None:
+        """Reset the whole array."""
+        self._values[:] = 0.0
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise IndexError(f"register index {index} out of range [0, {self.size})")
+
+
+@dataclass
+class RegisterFile:
+    """The set of register arrays a program allocates, grouped by role.
+
+    SpliDT's data-plane program uses three groups (Figure 4 of the paper):
+    reserved state (SID + packet count), the dependency chain, and the ``k``
+    feature slots.
+    """
+
+    arrays: dict[str, RegisterArray] = field(default_factory=dict)
+
+    def allocate(self, name: str, *, size: int, width: int, stage: int = 0) -> RegisterArray:
+        """Allocate (and register) a new array; names must be unique."""
+        if name in self.arrays:
+            raise ValueError(f"register array {name!r} already allocated")
+        array = RegisterArray(name=name, size=size, width=width, stage=stage)
+        self.arrays[name] = array
+        return array
+
+    def __getitem__(self, name: str) -> RegisterArray:
+        return self.arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.arrays
+
+    @property
+    def total_bits(self) -> int:
+        """Total register bits across all arrays."""
+        return sum(array.total_bits for array in self.arrays.values())
+
+    def bits_per_flow(self) -> int:
+        """Register bits consumed per flow slot (sum of array widths)."""
+        return sum(array.width for array in self.arrays.values())
+
+    def stages_used(self) -> set[int]:
+        """Pipeline stages touched by at least one array."""
+        return {array.stage for array in self.arrays.values()}
+
+    def clear_flow(self, index: int, names: list[str] | None = None) -> None:
+        """Clear one flow's entry in the named arrays (default: all arrays)."""
+        targets = names if names is not None else list(self.arrays)
+        for name in targets:
+            self.arrays[name].clear(index)

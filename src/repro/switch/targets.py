@@ -1,0 +1,128 @@
+"""Hardware target specifications.
+
+The paper evaluates against an Intel Tofino1 (Edgecore Wedge 100-32X) and
+frames feasibility in terms of that target's budgets: 12 match-action stages,
+a 6.4 Mbit TCAM budget, register (SRAM) space shared with tables per stage,
+and a 100 Gbps recirculation path.  Additional targets (Tofino2, Trident4,
+BlueField-3 DPU) are included because the DSE framework accepts any
+:class:`TargetSpec` as its constraint set.
+
+The numbers are public-datasheet-scale approximations — the reproduction only
+relies on their relative magnitudes (stage count, TCAM bits, register bits per
+stage), which is also all the paper's analytical feasibility model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """Resource envelope of one programmable data-plane target.
+
+    Attributes:
+        name: Target name.
+        n_stages: Match-action pipeline stages available to the program.
+        tcam_bits: Total TCAM capacity in bits.
+        sram_bits_per_stage: SRAM available per stage (registers share this).
+        register_bits_per_stage: Portion of a stage's SRAM usable as register
+            arrays for per-flow state.
+        max_mats_per_stage: Parallel MATs a single stage can host.
+        max_entries_per_mat: Entry budget per logical MAT.
+        tcam_entry_overhead_bits: Per-entry key/action overhead added on top
+            of the match-key width.
+        recirculation_bps: Recirculation / resubmission path bandwidth.
+        phv_bits: Packet-header-vector capacity.
+        max_dependency_stages: Longest register dependency chain supported.
+    """
+
+    name: str
+    n_stages: int
+    tcam_bits: float
+    sram_bits_per_stage: float
+    register_bits_per_stage: float
+    max_mats_per_stage: int
+    max_entries_per_mat: int
+    tcam_entry_overhead_bits: int
+    recirculation_bps: float
+    phv_bits: int
+    max_dependency_stages: int
+
+
+#: Intel Tofino1 — the paper's primary target (6.4 Mbit TCAM, 12 stages).
+TOFINO1 = TargetSpec(
+    name="Tofino1",
+    n_stages=12,
+    tcam_bits=6.4e6,
+    sram_bits_per_stage=1.28e7,
+    register_bits_per_stage=1.2e7,
+    max_mats_per_stage=16,
+    max_entries_per_mat=750,
+    tcam_entry_overhead_bits=16,
+    recirculation_bps=100e9,
+    phv_bits=4096,
+    max_dependency_stages=4,
+)
+
+#: Intel Tofino2 — double the stages and memory of Tofino1.
+TOFINO2 = TargetSpec(
+    name="Tofino2",
+    n_stages=20,
+    tcam_bits=1.28e7,
+    sram_bits_per_stage=2.56e7,
+    register_bits_per_stage=2.4e7,
+    max_mats_per_stage=16,
+    max_entries_per_mat=1500,
+    tcam_entry_overhead_bits=16,
+    recirculation_bps=200e9,
+    phv_bits=8192,
+    max_dependency_stages=6,
+)
+
+#: Broadcom Trident4-class programmable switch.
+TRIDENT4 = TargetSpec(
+    name="Trident4",
+    n_stages=16,
+    tcam_bits=8.0e6,
+    sram_bits_per_stage=1.6e7,
+    register_bits_per_stage=5.0e6,
+    max_mats_per_stage=12,
+    max_entries_per_mat=1000,
+    tcam_entry_overhead_bits=16,
+    recirculation_bps=100e9,
+    phv_bits=4096,
+    max_dependency_stages=4,
+)
+
+#: AMD Pensando / NVIDIA BlueField-3 class SmartNIC (fewer flows per register stage).
+BLUEFIELD3 = TargetSpec(
+    name="BlueField3",
+    n_stages=10,
+    tcam_bits=4.0e6,
+    sram_bits_per_stage=8.0e6,
+    register_bits_per_stage=2.5e6,
+    max_mats_per_stage=8,
+    max_entries_per_mat=512,
+    tcam_entry_overhead_bits=16,
+    recirculation_bps=50e9,
+    phv_bits=2048,
+    max_dependency_stages=4,
+)
+
+#: All built-in targets, keyed by lower-case name.
+TARGETS: dict[str, TargetSpec] = {
+    "tofino1": TOFINO1,
+    "tofino2": TOFINO2,
+    "trident4": TRIDENT4,
+    "bluefield3": BLUEFIELD3,
+}
+
+
+def get_target(name: str) -> TargetSpec:
+    """Look up a built-in target by (case-insensitive) name."""
+    key = name.lower()
+    try:
+        return TARGETS[key]
+    except KeyError as exc:
+        raise KeyError(f"unknown target {name!r}; expected one of {tuple(TARGETS)}") from exc

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (synthetic datasets, materialised windows, trained
+models, compiled rules) are session-scoped so the several hundred tests that
+consume them stay fast.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# Allow running the tests without an editable install.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import core, datasets  # noqa: E402
+from repro.core.range_marking import generate_rules  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small D3 (VPN-detection-like) dataset: 360 flows, 13 classes."""
+    return datasets.load_dataset("D3", n_flows=360, seed=11)
+
+
+@pytest.fixture(scope="session")
+def dataset_store(small_dataset):
+    """Dataset store over the small dataset."""
+    return datasets.DatasetStore(small_dataset, random_state=11)
+
+
+@pytest.fixture(scope="session")
+def windowed3(dataset_store):
+    """The small dataset materialised into 3 windows."""
+    return dataset_store.fetch(3)
+
+
+@pytest.fixture(scope="session")
+def splidt_config():
+    """A modest partitioned-tree configuration (D=6, k=4, 3 partitions)."""
+    return core.SpliDTConfig(depth=6, features_per_subtree=4, partition_sizes=(2, 2, 2))
+
+
+@pytest.fixture(scope="session")
+def splidt_model(windowed3, splidt_config):
+    """A trained partitioned tree on the small dataset."""
+    return core.train_partitioned_tree(windowed3, splidt_config, random_state=3)
+
+
+@pytest.fixture(scope="session")
+def splidt_rules(splidt_model, windowed3):
+    """Compiled TCAM rules of the trained partitioned tree."""
+    training_matrix = np.vstack(
+        [windowed3.partition_matrix(p, "train") for p in range(3)]
+    )
+    return generate_rules(splidt_model, training_matrix)
+
+
+@pytest.fixture(scope="session")
+def classification_data():
+    """A simple, well-separated synthetic classification problem."""
+    rng = np.random.default_rng(0)
+    n_per_class = 80
+    X0 = rng.normal(loc=[0, 0, 0, 5], scale=1.0, size=(n_per_class, 4))
+    X1 = rng.normal(loc=[4, 0, 0, 0], scale=1.0, size=(n_per_class, 4))
+    X2 = rng.normal(loc=[0, 4, 4, 0], scale=1.0, size=(n_per_class, 4))
+    X = np.vstack([X0, X1, X2])
+    y = np.repeat([0, 1, 2], n_per_class)
+    return X, y

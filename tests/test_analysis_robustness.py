@@ -1,0 +1,49 @@
+"""Tests for the flow-size spoofing robustness analysis (paper §6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate_flow_size_spoofing
+
+
+@pytest.fixture(scope="module")
+def spoofing_results(splidt_model, splidt_rules, small_dataset):
+    subset = small_dataset.subset(np.arange(60))
+    return evaluate_flow_size_spoofing(
+        splidt_model, splidt_rules, subset, scales=(1.0, 0.5, 4.0)
+    )
+
+
+class TestFlowSizeSpoofing:
+    def test_one_result_per_scale(self, spoofing_results):
+        assert [r.scale for r in spoofing_results] == [1.0, 0.5, 4.0]
+
+    def test_honest_baseline_classifies_everything(self, spoofing_results):
+        honest = spoofing_results[0]
+        assert honest.decided_fraction == pytest.approx(1.0)
+        assert honest.f1_score > 0.0
+
+    def test_scores_bounded(self, spoofing_results):
+        for result in spoofing_results:
+            assert 0.0 <= result.f1_score <= 1.0
+            assert 0.0 <= result.decided_fraction <= 1.0
+
+    def test_inflated_flow_size_hurts_or_delays(self, spoofing_results, splidt_model):
+        honest, _, inflated = spoofing_results
+        # Advertising a 4x larger flow pushes window boundaries past the real
+        # flow end: either some flows never get a verdict or accuracy drops or
+        # fewer partition transitions happen.
+        degraded = (
+            inflated.decided_fraction < honest.decided_fraction - 1e-9
+            or inflated.f1_score <= honest.f1_score + 1e-9
+            or inflated.mean_recirculations < honest.mean_recirculations
+        )
+        assert degraded
+
+    def test_truncated_flow_size_changes_windows(self, spoofing_results, splidt_model):
+        honest, truncated, _ = spoofing_results
+        # With a 0.5x advertised size, boundaries fire after fewer packets, so
+        # the subtrees see truncated windows; recirculation still happens.
+        assert truncated.mean_recirculations <= splidt_model.n_partitions - 1

@@ -1,0 +1,153 @@
+"""Unit tests for the NetBeacon, Leo and per-packet baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    NETBEACON_PHASES,
+    leo_tcam_bits,
+    leo_tcam_entries,
+    netbeacon_tcam_cost,
+    phase_for_packet_count,
+    search_leo,
+    search_netbeacon,
+    search_per_packet,
+    select_top_k_features,
+    topk_per_flow_bits,
+    train_per_packet_model,
+    train_topk_model,
+)
+from repro.core.config import TopKConfig
+from repro.features.definitions import FEATURES, STATELESS_INDICES
+from repro.switch.targets import TOFINO1
+
+
+class TestTopKSelection:
+    def test_returns_k_features(self, windowed3):
+        X = windowed3.flow_matrix("train")
+        y = windowed3.split_labels("train")
+        for k in (1, 3, 6):
+            features = select_top_k_features(X, y, k)
+            assert len(features) == k
+            assert len(set(features)) == k
+
+    def test_candidate_restriction(self, windowed3):
+        X = windowed3.flow_matrix("train")
+        y = windowed3.split_labels("train")
+        features = select_top_k_features(X, y, 3, candidate_indices=tuple(STATELESS_INDICES))
+        assert set(features) <= set(STATELESS_INDICES)
+
+    def test_invalid_k(self, windowed3):
+        with pytest.raises(ValueError):
+            select_top_k_features(windowed3.flow_matrix("train"), windowed3.split_labels("train"), 0)
+
+
+class TestTopKModel:
+    def test_train_and_predict(self, windowed3):
+        config = TopKConfig(depth=6, top_k=4)
+        model = train_topk_model(windowed3, config)
+        predictions = model.predict(windowed3.flow_matrix("test"))
+        assert predictions.shape == (windowed3.test_indices.shape[0],)
+        assert len(model.feature_indices) == 4
+        assert model.features_used() <= set(model.feature_indices)
+
+    def test_depth_respected(self, windowed3):
+        model = train_topk_model(windowed3, TopKConfig(depth=3, top_k=4))
+        assert model.depth <= 3
+
+    def test_register_layout_counts_stateful_features_only(self, windowed3):
+        model = train_topk_model(windowed3, TopKConfig(depth=5, top_k=4))
+        stateful = [i for i in model.feature_indices if FEATURES[i].stateful]
+        assert model.register_layout().feature_bits == 32 * len(stateful)
+
+    def test_rules_generated(self, windowed3):
+        model = train_topk_model(windowed3, TopKConfig(depth=5, top_k=4))
+        rules = model.generate_rules(windowed3.flow_matrix("train"))
+        assert rules.n_entries > 0
+        assert rules.n_model_entries == model.n_leaves
+
+    def test_per_flow_bits_formula(self):
+        assert topk_per_flow_bits(4, bit_width=32, dependency_stages=0) >= 128
+
+    def test_stateless_model_uses_only_stateless_features(self, windowed3):
+        model = train_per_packet_model(windowed3, depth=6)
+        assert set(model.feature_indices) <= set(STATELESS_INDICES)
+
+
+class TestNetBeacon:
+    def test_phases_exponential(self):
+        assert list(NETBEACON_PHASES) == sorted(NETBEACON_PHASES)
+        ratios = [b / a for a, b in zip(NETBEACON_PHASES, NETBEACON_PHASES[1:])]
+        assert all(r == 2 for r in ratios)
+
+    def test_phase_for_packet_count(self):
+        assert phase_for_packet_count(1) == 0
+        assert phase_for_packet_count(2) == 0
+        assert phase_for_packet_count(3) == 1
+        assert phase_for_packet_count(10_000) == len(NETBEACON_PHASES)
+
+    def test_tcam_cost_positive(self, windowed3):
+        model = train_topk_model(windowed3, TopKConfig(depth=6, top_k=4), name="netbeacon")
+        entries, bits = netbeacon_tcam_cost(model, windowed3)
+        assert entries > 0 and bits > 0
+
+    def test_search_returns_feasible_candidate(self, windowed3):
+        candidate = search_netbeacon(
+            windowed3, target=TOFINO1, n_flows=100_000,
+            k_range=(2, 4), depth_range=(4, 8),
+        )
+        assert candidate is not None
+        assert candidate.feasible
+        assert candidate.tcam_bits <= TOFINO1.tcam_bits
+
+    def test_search_degrades_with_more_flows(self, windowed3):
+        at_100k = search_netbeacon(
+            windowed3, target=TOFINO1, n_flows=100_000, k_range=(1, 2, 4, 6), depth_range=(4, 8, 12)
+        )
+        at_1m = search_netbeacon(
+            windowed3, target=TOFINO1, n_flows=1_000_000, k_range=(1, 2, 4, 6), depth_range=(4, 8, 12)
+        )
+        assert at_100k is not None
+        if at_1m is not None:
+            assert at_1m.model.config.top_k <= at_100k.model.config.top_k
+            assert at_1m.report.f1_score <= at_100k.report.f1_score + 0.05
+
+
+class TestLeo:
+    def test_entry_counts_are_powers_of_two(self):
+        for depth in (3, 6, 10, 11):
+            entries = leo_tcam_entries(depth, 4)
+            assert entries & (entries - 1) == 0
+
+    def test_entries_grow_with_depth(self):
+        assert leo_tcam_entries(11, 4) >= leo_tcam_entries(6, 4)
+
+    def test_entries_capped(self):
+        assert leo_tcam_entries(30, 8) == 2**14
+
+    def test_tcam_bits_scale_with_k(self):
+        assert leo_tcam_bits(6, 6) > leo_tcam_bits(6, 2)
+
+    def test_search_returns_candidate(self, windowed3):
+        candidate = search_leo(
+            windowed3, target=TOFINO1, n_flows=100_000, k_range=(2, 4), depth_range=(6, 11)
+        )
+        assert candidate is not None
+        assert candidate.tcam_entries in {2**n for n in range(11, 15)}
+
+
+class TestPerPacket:
+    def test_search_returns_candidate(self, windowed3):
+        candidate = search_per_packet(windowed3, target=TOFINO1, depth_range=(6, 8))
+        assert candidate is not None
+        assert candidate.register_bits == 0
+
+    def test_stateless_model_weaker_than_stateful(self, windowed3):
+        stateless = search_per_packet(windowed3, target=TOFINO1, depth_range=(8,))
+        stateful = search_netbeacon(
+            windowed3, target=TOFINO1, n_flows=100_000, k_range=(6,), depth_range=(10,)
+        )
+        assert stateless is not None and stateful is not None
+        assert stateless.report.f1_score <= stateful.report.f1_score + 0.05

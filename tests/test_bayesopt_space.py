@@ -1,0 +1,97 @@
+"""Unit tests for the BO parameter space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.space import (
+    CategoricalParameter,
+    IntegerParameter,
+    OrdinalParameter,
+    ParameterSpace,
+    RealParameter,
+)
+
+
+class TestParameters:
+    def test_integer_sample_in_range(self):
+        parameter = IntegerParameter("d", 1, 10)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            assert 1 <= parameter.sample(rng) <= 10
+
+    def test_integer_encode_decode_round_trip(self):
+        parameter = IntegerParameter("d", 2, 30)
+        for value in (2, 7, 15, 30):
+            assert parameter.decode(parameter.encode(value)) == value
+
+    def test_integer_degenerate_range(self):
+        parameter = IntegerParameter("d", 5, 5)
+        assert parameter.encode(5) == 0.0
+        assert parameter.decode(0.7) == 5
+
+    def test_integer_invalid_range(self):
+        with pytest.raises(ValueError):
+            IntegerParameter("d", 5, 1)
+
+    def test_real_round_trip(self):
+        parameter = RealParameter("x", 0.0, 10.0)
+        assert parameter.decode(parameter.encode(2.5)) == pytest.approx(2.5)
+
+    def test_real_decode_clipped(self):
+        parameter = RealParameter("x", 0.0, 1.0)
+        assert parameter.decode(2.0) == 1.0
+        assert parameter.decode(-1.0) == 0.0
+
+    def test_ordinal_round_trip(self):
+        parameter = OrdinalParameter("bits", (8, 16, 32))
+        for value in (8, 16, 32):
+            assert parameter.decode(parameter.encode(value)) == value
+
+    def test_ordinal_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OrdinalParameter("bits", ())
+
+    def test_categorical_round_trip(self):
+        parameter = CategoricalParameter("target", ("tofino1", "tofino2"))
+        assert parameter.decode(parameter.encode("tofino2")) == "tofino2"
+
+
+class TestParameterSpace:
+    def _space(self) -> ParameterSpace:
+        return ParameterSpace(
+            [IntegerParameter("depth", 1, 20), IntegerParameter("k", 1, 6),
+             OrdinalParameter("bits", (8, 16, 32))]
+        )
+
+    def test_sample_has_all_names(self):
+        config = self._space().sample(np.random.default_rng(0))
+        assert set(config) == {"depth", "k", "bits"}
+
+    def test_sample_many(self):
+        configs = self._space().sample_many(5, np.random.default_rng(0))
+        assert len(configs) == 5
+
+    def test_encode_shape_and_range(self):
+        space = self._space()
+        vector = space.encode({"depth": 10, "k": 3, "bits": 16})
+        assert vector.shape == (3,)
+        assert np.all((0 <= vector) & (vector <= 1))
+
+    def test_encode_decode_round_trip(self):
+        space = self._space()
+        config = {"depth": 10, "k": 3, "bits": 16}
+        assert space.decode(space.encode(config)) == config
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpace([IntegerParameter("a", 0, 1), IntegerParameter("a", 0, 1)])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpace([])
+
+    def test_decode_wrong_dimensionality(self):
+        with pytest.raises(ValueError):
+            self._space().decode(np.array([0.5]))

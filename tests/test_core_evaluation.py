@@ -1,0 +1,61 @@
+"""Unit tests for the evaluation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.evaluation import (
+    ClassificationReport,
+    evaluate_classifier,
+    evaluate_partitioned_tree,
+)
+from repro.ml import DecisionTreeClassifier
+
+
+class TestClassificationReport:
+    def test_from_perfect_predictions(self):
+        report = ClassificationReport.from_predictions(np.array([0, 1, 2]), np.array([0, 1, 2]))
+        assert report.f1_score == 1.0
+        assert report.accuracy == 1.0
+        assert report.n_samples == 3
+        assert report.confusion.shape == (3, 3)
+
+    def test_from_poor_predictions(self):
+        report = ClassificationReport.from_predictions(np.array([0, 0, 1]), np.array([1, 1, 0]))
+        assert report.f1_score == 0.0
+        assert report.accuracy == 0.0
+
+    def test_metrics_bounded(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 40)
+        y_pred = rng.integers(0, 3, 40)
+        report = ClassificationReport.from_predictions(y_true, y_pred)
+        for value in (report.f1_score, report.accuracy, report.precision, report.recall):
+            assert 0.0 <= value <= 1.0
+
+
+class TestEvaluatePartitionedTree:
+    def test_test_split_report(self, splidt_model, windowed3):
+        report = evaluate_partitioned_tree(splidt_model, windowed3, split="test")
+        assert report.n_samples == windowed3.test_indices.shape[0]
+        assert 0.0 <= report.f1_score <= 1.0
+
+    def test_train_split_scores_higher_or_equal(self, splidt_model, windowed3):
+        train = evaluate_partitioned_tree(splidt_model, windowed3, split="train")
+        test = evaluate_partitioned_tree(splidt_model, windowed3, split="test")
+        assert train.f1_score >= test.f1_score - 0.15
+
+    def test_beats_random_guessing(self, splidt_model, windowed3):
+        report = evaluate_partitioned_tree(splidt_model, windowed3, split="test")
+        assert report.f1_score > 1.0 / windowed3.n_classes
+
+
+class TestEvaluateClassifier:
+    def test_flat_classifier(self, windowed3):
+        tree = DecisionTreeClassifier(max_depth=8, min_samples_leaf=3)
+        tree.fit(windowed3.flow_matrix("train"), windowed3.split_labels("train"))
+        report = evaluate_classifier(
+            tree, windowed3.flow_matrix("test"), windowed3.split_labels("test")
+        )
+        assert 0.0 <= report.f1_score <= 1.0
+        assert report.n_samples == windowed3.test_indices.shape[0]

@@ -1,0 +1,98 @@
+"""Unit tests for Pareto-frontier utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import (
+    best_at_budget,
+    dominates,
+    hypervolume_2d,
+    pareto_front,
+    pareto_front_indices,
+)
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates([2, 2], [1, 1])
+
+    def test_partial_improvement_dominates(self):
+        assert dominates([2, 1], [1, 1])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1, 1], [1, 1])
+
+    def test_tradeoff_points_do_not_dominate(self):
+        assert not dominates([2, 0], [0, 2])
+        assert not dominates([0, 2], [2, 0])
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        indices = pareto_front_indices(np.array([[1.0, 1.0]]))
+        np.testing.assert_array_equal(indices, [0])
+
+    def test_dominated_points_removed(self):
+        points = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 0.5]])
+        indices = pareto_front_indices(points)
+        np.testing.assert_array_equal(indices, [1])
+
+    def test_tradeoff_points_kept(self):
+        points = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0]])
+        assert len(pareto_front_indices(points)) == 3
+
+    def test_front_sorted_by_first_objective(self):
+        points = np.array([[3.0, 1.0], [1.0, 3.0], [2.0, 2.0]])
+        front = pareto_front(points)
+        assert list(front[:, 0]) == sorted(front[:, 0])
+
+    def test_front_members_not_dominated(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(100, 2))
+        front = pareto_front(points)
+        for member in front:
+            assert not any(dominates(other, member) for other in points)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            pareto_front_indices(np.array([1.0, 2.0]))
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        assert hypervolume_2d(np.array([[2.0, 3.0]])) == pytest.approx(6.0)
+
+    def test_dominated_point_adds_nothing(self):
+        base = hypervolume_2d(np.array([[2.0, 3.0]]))
+        extended = hypervolume_2d(np.array([[2.0, 3.0], [1.0, 1.0]]))
+        assert extended == pytest.approx(base)
+
+    def test_two_tradeoff_points(self):
+        volume = hypervolume_2d(np.array([[1.0, 3.0], [3.0, 1.0]]))
+        assert volume == pytest.approx(3 + 1 * 2)
+
+    def test_empty(self):
+        assert hypervolume_2d(np.zeros((0, 2))) == 0.0
+
+    def test_better_front_has_larger_volume(self):
+        worse = np.array([[0.5, 0.5], [0.6, 0.4]])
+        better = np.array([[0.9, 0.8], [0.95, 0.6]])
+        assert hypervolume_2d(better) > hypervolume_2d(worse)
+
+
+class TestBestAtBudget:
+    def test_best_value_selected(self):
+        costs = np.array([10, 100, 1000])
+        values = np.array([0.3, 0.6, 0.9])
+        best = best_at_budget(costs, np.array([5, 50, 500, 5000]), values)
+        np.testing.assert_allclose(best, [0.0, 0.3, 0.6, 0.9])
+
+    def test_monotone_in_budget(self):
+        rng = np.random.default_rng(1)
+        costs = rng.uniform(1, 1000, 50)
+        values = rng.uniform(0, 1, 50)
+        budgets = np.linspace(1, 1000, 20)
+        best = best_at_budget(costs, budgets, values)
+        assert all(b >= a for a, b in zip(best, best[1:]))

@@ -1,0 +1,125 @@
+"""Unit and integration tests for the data-plane programs and runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import train_topk_model
+from repro.core.config import TopKConfig
+from repro.dataplane import SpliDTDataPlane, TopKDataPlane, replay_dataset, ttd_ecdf
+from repro.dataplane.controller import Digest
+
+
+@pytest.fixture(scope="module")
+def splidt_dataplane(splidt_model, splidt_rules):
+    return SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=4096)
+
+
+@pytest.fixture(scope="module")
+def replay_result(splidt_model, splidt_rules, small_dataset):
+    program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+    subset = small_dataset.subset(np.arange(80))
+    return replay_dataset(program, subset)
+
+
+class TestSpliDTDataPlaneSetup:
+    def test_register_allocation(self, splidt_dataplane, splidt_model):
+        registers = splidt_dataplane.pipeline.registers
+        assert "sid" in registers and "pkt_count" in registers
+        k = splidt_model.config.features_per_subtree
+        for slot in range(k):
+            assert f"feature_slot_{slot}" in registers
+
+    def test_rules_installed(self, splidt_dataplane):
+        assert splidt_dataplane.controller.installed_entries > 0
+        assert len(splidt_dataplane.pipeline.tables()) > 0
+
+    def test_pipeline_fits_target(self, splidt_dataplane):
+        report = splidt_dataplane.pipeline.resource_report()
+        assert report.fits, report.violations
+
+
+class TestSpliDTReplay:
+    def test_every_flow_gets_a_verdict(self, replay_result):
+        # Hash collisions between concurrent flows can corrupt a slot and cost
+        # a verdict, exactly as on hardware; allow at most a couple of losses.
+        assert len(replay_result.verdicts) >= 78
+
+    def test_accuracy_beats_chance(self, replay_result, small_dataset):
+        assert replay_result.report.f1_score > 1.0 / small_dataset.n_classes
+
+    def test_labels_are_valid(self, replay_result, small_dataset):
+        for verdict in replay_result.verdicts.values():
+            assert 0 <= verdict.label < small_dataset.n_classes
+
+    def test_ttd_non_negative_and_bounded_by_duration(self, replay_result, small_dataset):
+        durations = {flow.flow_id: flow.duration for flow in small_dataset.flows[:80]}
+        for flow_id, verdict in replay_result.verdicts.items():
+            assert verdict.time_to_detection >= 0
+            assert verdict.time_to_detection <= durations[flow_id] + 1e-6
+
+    def test_recirculations_bounded_by_partitions(self, replay_result, splidt_model):
+        for verdict in replay_result.verdicts.values():
+            assert 0 <= verdict.n_recirculations <= splidt_model.n_partitions - 1
+
+    def test_recirculation_stats_populated(self, replay_result):
+        assert replay_result.recirculation["packets"] >= 0
+        assert replay_result.recirculation["utilisation"] < 1.0
+
+    def test_recirculation_packets_match_verdicts(self, splidt_model, splidt_rules, small_dataset):
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+        subset = small_dataset.subset(np.arange(30))
+        result = replay_dataset(program, subset)
+        total_recirc = sum(v.n_recirculations for v in result.verdicts.values())
+        assert result.recirculation["packets"] == total_recirc
+
+    def test_dataplane_agrees_with_offline_model(self, splidt_model, splidt_rules, small_dataset, windowed3):
+        """Packet-level execution should mostly match offline window inference."""
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+        subset = small_dataset.subset(np.arange(60))
+        result = replay_dataset(program, subset)
+        offline = splidt_model.predict_windows(windowed3.window_features[:, :60, :])
+        decided = [flow_id for flow_id in range(60) if flow_id in result.verdicts]
+        assert len(decided) >= 58
+        agreement = np.mean(
+            [result.verdicts[flow_id].label == offline[flow_id] for flow_id in decided]
+        )
+        assert agreement >= 0.6
+
+    def test_digests_delivered_to_controller(self, splidt_model, splidt_rules, small_dataset):
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+        subset = small_dataset.subset(np.arange(10))
+        replay_dataset(program, subset)
+        digests = program.controller.digests
+        assert len(digests) == 10
+        assert all(isinstance(digest, Digest) for digest in digests)
+
+
+class TestTopKDataPlane:
+    def test_replay_produces_verdicts(self, windowed3, small_dataset):
+        model = train_topk_model(windowed3, TopKConfig(depth=6, top_k=4))
+        program = TopKDataPlane(model, flow_slots=8192)
+        subset = small_dataset.subset(np.arange(50))
+        result = replay_dataset(program, subset)
+        assert len(result.verdicts) == 50
+        assert result.report.f1_score > 1.0 / small_dataset.n_classes
+
+    def test_no_recirculations(self, windowed3, small_dataset):
+        model = train_topk_model(windowed3, TopKConfig(depth=6, top_k=4))
+        program = TopKDataPlane(model, flow_slots=8192)
+        result = replay_dataset(program, small_dataset.subset(np.arange(20)))
+        assert all(v.n_recirculations == 0 for v in result.verdicts.values())
+
+
+class TestTtdEcdf:
+    def test_ecdf_shape_and_monotonicity(self, replay_result):
+        values, probabilities = ttd_ecdf(replay_result.time_to_detection())
+        assert values.shape == probabilities.shape
+        assert np.all(np.diff(values) >= 0)
+        assert np.all(np.diff(probabilities) >= 0)
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        values, probabilities = ttd_ecdf(np.array([]))
+        assert values.size == 0 and probabilities.size == 0

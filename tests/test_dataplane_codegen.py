@@ -1,0 +1,64 @@
+"""Unit tests for the P4-style code generator."""
+
+from __future__ import annotations
+
+from repro.dataplane.codegen import generate_p4_program, generate_table_entries
+
+
+class TestGenerateP4Program:
+    def test_program_contains_register_declarations(self, splidt_model, splidt_rules):
+        program = generate_p4_program(splidt_model, splidt_rules)
+        assert "reg_sid" in program
+        assert "reg_pkt_count" in program
+        for slot in range(splidt_model.config.features_per_subtree):
+            assert f"reg_feature_slot_{slot}" in program
+
+    def test_program_contains_one_mark_table_per_slot(self, splidt_model, splidt_rules):
+        program = generate_p4_program(splidt_model, splidt_rules)
+        for slot in range(splidt_model.config.features_per_subtree):
+            assert f"table mark_slot_{slot}" in program
+            assert f"table operator_select_{slot}" in program
+
+    def test_program_contains_model_table_and_recirculation(self, splidt_model, splidt_rules):
+        program = generate_p4_program(splidt_model, splidt_rules)
+        assert "table splidt_model" in program
+        assert "resubmit_with_next_sid" in program
+        assert "digest_classification" in program
+
+    def test_flow_slots_parameter(self, splidt_model, splidt_rules):
+        program = generate_p4_program(splidt_model, splidt_rules, flow_slots=1024)
+        assert "(1024)" in program
+
+    def test_summary_comment_reflects_model(self, splidt_model, splidt_rules):
+        program = generate_p4_program(splidt_model, splidt_rules)
+        assert f"{splidt_model.n_subtrees} subtrees" in program
+        assert f"{splidt_rules.n_entries} TCAM entries" in program
+
+
+class TestGenerateTableEntries:
+    def test_entry_count_matches_rule_set(self, splidt_model, splidt_rules):
+        entries = generate_table_entries(splidt_model, splidt_rules)
+        mark_entries = [e for e in entries if e["table"].startswith("mark_slot_")]
+        model_entries = [e for e in entries if e["table"] == "splidt_model"]
+        assert len(mark_entries) == splidt_rules.n_feature_entries
+        assert len(model_entries) == splidt_rules.n_model_entries
+
+    def test_every_entry_carries_a_sid(self, splidt_model, splidt_rules):
+        entries = generate_table_entries(splidt_model, splidt_rules)
+        sids = {entry["sid"] for entry in entries}
+        assert sids == set(splidt_model.subtrees)
+
+    def test_model_entries_reference_feature_names(self, splidt_model, splidt_rules):
+        from repro.features.definitions import feature_names
+        names = set(feature_names())
+        entries = generate_table_entries(splidt_model, splidt_rules)
+        for entry in entries:
+            if entry["table"] == "splidt_model":
+                assert set(entry["mark_intervals"]) <= names
+
+    def test_mark_entries_have_value_and_mask(self, splidt_model, splidt_rules):
+        entries = generate_table_entries(splidt_model, splidt_rules)
+        for entry in entries:
+            if entry["table"].startswith("mark_slot_"):
+                assert 0 <= entry["value"] < 2**32
+                assert 0 <= entry["mask"] < 2**32

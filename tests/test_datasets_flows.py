@@ -1,0 +1,80 @@
+"""Unit tests for the packet/flow data model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.flows import FiveTuple, Flow, FlowDataset, Packet, TCP_FLAGS
+
+
+def _flow(label: int = 0, n: int = 5) -> Flow:
+    packets = [Packet(timestamp=i * 0.5, size=100 + i * 10) for i in range(n)]
+    return Flow(FiveTuple(1, 2, 10, 20, 6), packets, label=label, flow_id=label)
+
+
+class TestFiveTuple:
+    def test_as_bytes_length(self):
+        assert len(FiveTuple(1, 2, 3, 4, 6).as_bytes()) == 13
+
+    def test_as_bytes_distinguishes_flows(self):
+        a = FiveTuple(1, 2, 3, 4, 6).as_bytes()
+        b = FiveTuple(1, 2, 3, 5, 6).as_bytes()
+        assert a != b
+
+    def test_hashable_and_equal(self):
+        assert FiveTuple(1, 2, 3, 4, 6) == FiveTuple(1, 2, 3, 4, 6)
+        assert hash(FiveTuple(1, 2, 3, 4, 6)) == hash(FiveTuple(1, 2, 3, 4, 6))
+
+
+class TestPacket:
+    def test_flag_helper(self):
+        packet = Packet(timestamp=0.0, size=60, flags=TCP_FLAGS["SYN"] | TCP_FLAGS["ACK"])
+        assert packet.has_flag("SYN")
+        assert packet.has_flag("ACK")
+        assert not packet.has_flag("FIN")
+
+
+class TestFlow:
+    def test_counts_and_bytes(self):
+        flow = _flow(n=5)
+        assert flow.n_packets == 5
+        assert flow.n_bytes == sum(100 + i * 10 for i in range(5))
+
+    def test_duration(self):
+        assert _flow(n=5).duration == 2.0
+
+    def test_duration_single_packet(self):
+        assert _flow(n=1).duration == 0.0
+
+    def test_sorted_by_time(self):
+        packets = [Packet(timestamp=t, size=100) for t in (3.0, 1.0, 2.0)]
+        flow = Flow(FiveTuple(1, 2, 3, 4, 6), packets, label=0)
+        ordered = flow.sorted_by_time()
+        assert [p.timestamp for p in ordered.packets] == [1.0, 2.0, 3.0]
+        # Original is untouched.
+        assert [p.timestamp for p in flow.packets] == [3.0, 1.0, 2.0]
+
+
+class TestFlowDataset:
+    def _dataset(self) -> FlowDataset:
+        flows = [_flow(label=i % 3) for i in range(9)]
+        return FlowDataset("T", "test", flows, class_names=["a", "b", "c"])
+
+    def test_basic_counts(self):
+        dataset = self._dataset()
+        assert dataset.n_flows == 9
+        assert dataset.n_classes == 3
+
+    def test_labels_vector(self):
+        labels = self._dataset().labels()
+        assert labels.shape == (9,)
+        assert set(labels) == {0, 1, 2}
+
+    def test_class_counts(self):
+        np.testing.assert_array_equal(self._dataset().class_counts(), [3, 3, 3])
+
+    def test_subset(self):
+        dataset = self._dataset()
+        subset = dataset.subset(np.array([0, 1, 2]))
+        assert subset.n_flows == 3
+        assert subset.class_names == dataset.class_names

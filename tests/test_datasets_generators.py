@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic traffic generators (D1–D7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    ATTRIBUTE_GROUPS,
+    N_LEVELS,
+    N_PHASES,
+    SyntheticTrafficGenerator,
+    generate_dataset,
+)
+from repro.datasets.profiles import DATASET_KEYS, get_profile
+from repro.datasets.registry import available_datasets, dataset_summary, load_dataset
+
+
+class TestProfiles:
+    def test_all_seven_datasets_available(self):
+        assert available_datasets() == ("D1", "D2", "D3", "D4", "D5", "D6", "D7")
+
+    def test_class_counts_match_paper_table2(self):
+        expected = {"D1": 19, "D2": 4, "D3": 13, "D4": 11, "D5": 32, "D6": 10, "D7": 10}
+        for key, classes in expected.items():
+            assert get_profile(key).n_classes == classes
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("D99")
+
+    def test_summary_contains_source(self):
+        summary = dataset_summary("D3")
+        assert summary["classes"] == 13
+        assert "VPN" in summary["source"]
+
+
+class TestGenerator:
+    def test_generates_requested_flow_count(self):
+        dataset = generate_dataset("D2", n_flows=50, seed=0)
+        assert dataset.n_flows == 50
+
+    def test_every_class_present(self):
+        # Every class is seeded at least once before label noise is applied,
+        # so nearly all of the 19 classes must survive even in a small sample.
+        dataset = generate_dataset("D1", n_flows=120, seed=0)
+        assert len(set(dataset.labels())) >= 18
+
+    def test_labels_within_range(self):
+        dataset = generate_dataset("D5", n_flows=64, seed=1)
+        assert dataset.labels().max() < 32
+        assert dataset.labels().min() >= 0
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_dataset("D3", n_flows=30, seed=5)
+        b = generate_dataset("D3", n_flows=30, seed=5)
+        assert a.labels().tolist() == b.labels().tolist()
+        assert a.flows[0].n_packets == b.flows[0].n_packets
+        assert a.flows[0].packets[0].size == b.flows[0].packets[0].size
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset("D3", n_flows=30, seed=1)
+        b = generate_dataset("D3", n_flows=30, seed=2)
+        assert a.flows[0].packets[0].timestamp != b.flows[0].packets[0].timestamp
+
+    def test_too_few_flows_raises(self):
+        with pytest.raises(ValueError):
+            generate_dataset("D5", n_flows=10, seed=0)
+
+    def test_flows_have_monotone_timestamps(self):
+        dataset = generate_dataset("D4", n_flows=20, seed=0)
+        for flow in dataset.flows[:10]:
+            times = [p.timestamp for p in flow.packets]
+            assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_packet_sizes_within_ethernet_bounds(self):
+        dataset = generate_dataset("D6", n_flows=20, seed=0)
+        for flow in dataset.flows:
+            for packet in flow.packets:
+                assert 40 <= packet.size <= 1514
+
+    def test_class_names_aligned_with_labels(self):
+        dataset = generate_dataset("D2", n_flows=20, seed=0)
+        for flow in dataset.flows:
+            assert dataset.class_names[flow.label] == flow.class_name
+
+
+class TestSignatures:
+    def test_signature_levels_cover_all_groups(self):
+        generator = SyntheticTrafficGenerator(get_profile("D3"), seed=0)
+        for signature in generator.signatures:
+            assert set(signature.levels) == {g.name for g in ATTRIBUTE_GROUPS}
+            assert all(0 <= level < N_LEVELS for level in signature.levels.values())
+
+    def test_signatures_differ_between_classes(self):
+        generator = SyntheticTrafficGenerator(get_profile("D1"), seed=0)
+        codes = {tuple(sorted(s.levels.items())) for s in generator.signatures}
+        assert len(codes) > 1
+
+    def test_minimum_informative_groups(self):
+        generator = SyntheticTrafficGenerator(get_profile("D3"), seed=0)
+        minimum = max(3, get_profile("D3").signature_features)
+        for signature in generator.signatures:
+            non_neutral = sum(1 for level in signature.levels.values() if level != 1)
+            assert non_neutral >= minimum
+
+    def test_group_phases_span_all_phases(self):
+        phases = {g.phase for g in ATTRIBUTE_GROUPS if g.phase is not None}
+        assert phases == set(range(N_PHASES))
+
+    def test_attribute_group_value_interpolation(self):
+        group = ATTRIBUTE_GROUPS[0]
+        neutral = group.value(1, group.phase, 1.0)
+        low = group.value(0, group.phase, 1.0)
+        high = group.value(2, group.phase, 1.0)
+        assert low < neutral < high
+        # Outside the expressed phase the value collapses towards neutral.
+        other_phase = (group.phase + 1) % N_PHASES
+        assert abs(group.value(2, other_phase, 1.0) - neutral) < abs(high - neutral)
+
+
+class TestDatasetLearnability:
+    def test_windows_carry_class_signal(self):
+        """A full-feature tree on window features must beat random guessing."""
+        from repro.datasets.materialize import materialize
+        from repro.ml import DecisionTreeClassifier
+        from repro.ml.metrics import f1_score
+
+        dataset = load_dataset("D2", n_flows=240, seed=3)
+        windowed = materialize(dataset, 2, random_state=3)
+        X_train = np.hstack([windowed.partition_matrix(p, "train") for p in range(2)])
+        X_test = np.hstack([windowed.partition_matrix(p, "test") for p in range(2)])
+        tree = DecisionTreeClassifier(max_depth=10, min_samples_leaf=3)
+        tree.fit(X_train, windowed.split_labels("train"))
+        score = f1_score(windowed.split_labels("test"), tree.predict(X_test), "weighted")
+        assert score > 1.5 / windowed.n_classes

@@ -1,0 +1,173 @@
+"""Unit tests for the window-aware flow feature engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.flows import FiveTuple, Flow, Packet, TCP_FLAGS
+from repro.features.definitions import FEATURES_BY_NAME, N_FEATURES
+from repro.features.flowmeter import FlowMeter, quantize_features
+
+
+def _index(name: str) -> int:
+    return FEATURES_BY_NAME[name].index
+
+
+def _make_flow(n_packets: int = 12, size: int = 100, iat: float = 0.1) -> Flow:
+    packets = [
+        Packet(
+            timestamp=i * iat,
+            size=size,
+            flags=TCP_FLAGS["SYN"] if i == 0 else TCP_FLAGS["ACK"],
+            direction=1 if i % 2 == 0 else -1,
+            payload=size // 2,
+        )
+        for i in range(n_packets)
+    ]
+    five_tuple = FiveTuple(1, 2, 1234, 443, 6)
+    return Flow(five_tuple=five_tuple, packets=packets, label=0)
+
+
+class TestWholeFlowExtraction:
+    def setup_method(self):
+        self.meter = FlowMeter()
+        self.flow = _make_flow()
+
+    def test_vector_length(self):
+        vector = self.meter.extract_flow(self.flow)
+        assert vector.shape == (N_FEATURES,)
+
+    def test_packet_count(self):
+        vector = self.meter.extract_flow(self.flow)
+        assert vector[_index("pkt_count")] == 12
+
+    def test_byte_count(self):
+        vector = self.meter.extract_flow(self.flow)
+        assert vector[_index("byte_count")] == 1200
+
+    def test_mean_min_max_pkt_len(self):
+        vector = self.meter.extract_flow(self.flow)
+        assert vector[_index("mean_pkt_len")] == 100
+        assert vector[_index("min_pkt_len")] == 100
+        assert vector[_index("max_pkt_len")] == 100
+        assert vector[_index("std_pkt_len")] == 0
+
+    def test_iat_statistics(self):
+        vector = self.meter.extract_flow(self.flow)
+        assert vector[_index("mean_iat")] == pytest.approx(0.1)
+        assert vector[_index("min_iat")] == pytest.approx(0.1)
+        assert vector[_index("max_iat")] == pytest.approx(0.1)
+        assert vector[_index("std_iat")] == pytest.approx(0.0, abs=1e-9)
+
+    def test_duration(self):
+        vector = self.meter.extract_flow(self.flow)
+        assert vector[_index("duration")] == pytest.approx(1.1)
+
+    def test_flag_counts(self):
+        vector = self.meter.extract_flow(self.flow)
+        assert vector[_index("syn_count")] == 1
+        assert vector[_index("ack_count")] == 11
+        assert vector[_index("fin_count")] == 0
+
+    def test_direction_counts(self):
+        vector = self.meter.extract_flow(self.flow)
+        assert vector[_index("fwd_pkt_count")] == 6
+        assert vector[_index("bwd_pkt_count")] == 6
+        assert vector[_index("fwd_byte_count")] == 600
+
+    def test_stateless_fields(self):
+        vector = self.meter.extract_flow(self.flow)
+        assert vector[_index("src_port")] == 1234
+        assert vector[_index("dst_port")] == 443
+        assert vector[_index("protocol")] == 6
+        assert vector[_index("pkt_len_first")] == 100
+
+    def test_small_and_large_packet_counts(self):
+        flow = _make_flow(size=50)
+        vector = self.meter.extract_flow(flow)
+        assert vector[_index("small_pkt_count")] == flow.n_packets
+        assert vector[_index("large_pkt_count")] == 0
+
+    def test_rates(self):
+        vector = self.meter.extract_flow(self.flow)
+        assert vector[_index("pkt_rate")] == pytest.approx(12 / 1.1)
+        assert vector[_index("byte_rate")] == pytest.approx(1200 / 1.1)
+
+
+class TestWindowExtraction:
+    def setup_method(self):
+        self.meter = FlowMeter()
+
+    def test_window_matrix_shape(self):
+        matrix = self.meter.extract_windows(_make_flow(12), 3)
+        assert matrix.shape == (3, N_FEATURES)
+
+    def test_window_packet_counts_sum_to_flow(self):
+        flow = _make_flow(13)
+        matrix = self.meter.extract_windows(flow, 4)
+        assert matrix[:, _index("pkt_count")].sum() == 13
+
+    def test_window_state_reset(self):
+        # Each window's byte count reflects only that window's packets.
+        flow = _make_flow(12, size=100)
+        matrix = self.meter.extract_windows(flow, 3)
+        np.testing.assert_allclose(matrix[:, _index("byte_count")], 400)
+
+    def test_empty_window_is_zero_stateful(self):
+        flow = _make_flow(2)
+        matrix = self.meter.extract_windows(flow, 4)
+        assert matrix[3, _index("pkt_count")] == 0
+        assert matrix[3, _index("byte_count")] == 0
+
+    def test_single_window_equals_whole_flow(self):
+        flow = _make_flow(10)
+        whole = self.meter.extract_flow(flow)
+        windowed = self.meter.extract_windows(flow, 1)[0]
+        np.testing.assert_allclose(whole, windowed)
+
+    def test_windows_capture_phase_differences(self):
+        # First half small packets, second half large packets.
+        packets = [Packet(timestamp=i * 0.1, size=60) for i in range(6)]
+        packets += [Packet(timestamp=0.6 + i * 0.1, size=1400) for i in range(6)]
+        flow = Flow(FiveTuple(1, 2, 3, 4, 6), packets, label=0)
+        matrix = self.meter.extract_windows(flow, 2)
+        assert matrix[0, _index("mean_pkt_len")] == pytest.approx(60)
+        assert matrix[1, _index("mean_pkt_len")] == pytest.approx(1400)
+
+
+class TestPerPacketExtraction:
+    def test_only_stateless_features_set(self):
+        meter = FlowMeter()
+        flow = _make_flow()
+        vector = meter.extract_per_packet(flow.packets[0], flow)
+        assert vector[_index("dst_port")] == 443
+        assert vector[_index("pkt_count")] == 0
+        assert vector[_index("byte_count")] == 0
+
+
+class TestQuantizeFeatures:
+    def test_32_bit_is_identity(self):
+        matrix = np.array([[1.5, 2.5], [3.0, 4.0]])
+        np.testing.assert_allclose(quantize_features(matrix, 32), matrix)
+
+    def test_values_bounded_by_levels(self):
+        matrix = np.random.default_rng(0).uniform(0, 1000, size=(20, 3))
+        quantized = quantize_features(matrix, 8)
+        assert quantized.max() <= 255
+        assert quantized.min() >= 0
+
+    def test_monotone_in_input(self):
+        matrix = np.array([[0.0], [10.0], [100.0], [1000.0]])
+        quantized = quantize_features(matrix, 8)
+        assert np.all(np.diff(quantized[:, 0]) >= 0)
+
+    def test_invalid_bit_width(self):
+        with pytest.raises(ValueError):
+            quantize_features(np.zeros((2, 2)), 0)
+
+    def test_lower_precision_coarser(self):
+        matrix = np.linspace(0, 1000, 100).reshape(-1, 1)
+        q8 = quantize_features(matrix, 8)
+        q16 = quantize_features(matrix, 16)
+        assert len(np.unique(q8)) <= len(np.unique(q16))

@@ -1,0 +1,162 @@
+"""Unit tests for the split-search primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.splitter import (
+    entropy_impurity,
+    find_best_split,
+    gini_impurity,
+    mse_impurity,
+    node_impurity,
+)
+
+
+class TestImpurities:
+    def test_gini_pure(self):
+        assert gini_impurity(np.array([10.0, 0.0])) == 0.0
+
+    def test_gini_balanced_two_classes(self):
+        assert gini_impurity(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_gini_balanced_four_classes(self):
+        assert gini_impurity(np.array([1.0, 1.0, 1.0, 1.0])) == pytest.approx(0.75)
+
+    def test_gini_empty(self):
+        assert gini_impurity(np.array([0.0, 0.0])) == 0.0
+
+    def test_entropy_pure(self):
+        assert entropy_impurity(np.array([7.0, 0.0])) == 0.0
+
+    def test_entropy_balanced_is_one_bit(self):
+        assert entropy_impurity(np.array([4.0, 4.0])) == pytest.approx(1.0)
+
+    def test_entropy_monotone_in_classes(self):
+        two = entropy_impurity(np.array([1.0, 1.0]))
+        four = entropy_impurity(np.array([1.0, 1.0, 1.0, 1.0]))
+        assert four > two
+
+    def test_mse_constant_is_zero(self):
+        assert mse_impurity(np.full(10, 3.0)) == 0.0
+
+    def test_mse_is_variance(self):
+        y = np.array([0.0, 2.0])
+        assert mse_impurity(y) == pytest.approx(1.0)
+
+    def test_node_impurity_dispatch(self):
+        counts = np.array([3.0, 3.0])
+        assert node_impurity(counts, "gini") == pytest.approx(0.5)
+        assert node_impurity(counts, "entropy") == pytest.approx(1.0)
+
+    def test_node_impurity_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            node_impurity(np.array([1.0]), "mae")
+
+
+class TestFindBestSplit:
+    def _rng(self):
+        return np.random.default_rng(0)
+
+    def test_obvious_split_found(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0, 0, 1, 1])
+        split = find_best_split(
+            X, y, allowed_features=np.array([0]), criterion="gini",
+            min_samples_leaf=1, n_classes=2, rng=self._rng(),
+        )
+        assert split is not None
+        assert split.feature == 0
+        assert 1.0 < split.threshold < 10.0
+        np.testing.assert_array_equal(split.left_mask, [True, True, False, False])
+
+    def test_constant_feature_gives_none(self):
+        X = np.ones((10, 1))
+        y = np.array([0, 1] * 5)
+        split = find_best_split(
+            X, y, allowed_features=np.array([0]), criterion="gini",
+            min_samples_leaf=1, n_classes=2, rng=self._rng(),
+        )
+        assert split is None
+
+    def test_pure_labels_give_none(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.zeros(10, dtype=int)
+        split = find_best_split(
+            X, y, allowed_features=np.array([0]), criterion="gini",
+            min_samples_leaf=1, n_classes=1, rng=self._rng(),
+        )
+        assert split is None
+
+    def test_min_samples_leaf_blocks_extreme_cuts(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [4.0], [5.0]])
+        y = np.array([0, 1, 1, 1, 1, 1])
+        split = find_best_split(
+            X, y, allowed_features=np.array([0]), criterion="gini",
+            min_samples_leaf=3, n_classes=2, rng=self._rng(),
+        )
+        if split is not None:
+            assert split.left_mask.sum() >= 3
+            assert (~split.left_mask).sum() >= 3
+
+    def test_too_few_samples_returns_none(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        split = find_best_split(
+            X, y, allowed_features=np.array([0]), criterion="gini",
+            min_samples_leaf=2, n_classes=2, rng=self._rng(),
+        )
+        assert split is None
+
+    def test_picks_most_informative_feature(self):
+        rng = np.random.default_rng(1)
+        noise = rng.normal(size=100)
+        informative = np.concatenate([np.zeros(50), np.ones(50) * 10])
+        X = np.column_stack([noise, informative])
+        y = np.repeat([0, 1], 50)
+        split = find_best_split(
+            X, y, allowed_features=np.array([0, 1]), criterion="gini",
+            min_samples_leaf=1, n_classes=2, rng=self._rng(),
+        )
+        assert split.feature == 1
+
+    def test_allowed_features_only(self):
+        informative = np.concatenate([np.zeros(50), np.ones(50) * 10])
+        X = np.column_stack([informative, informative * 2])
+        y = np.repeat([0, 1], 50)
+        split = find_best_split(
+            X, y, allowed_features=np.array([1]), criterion="gini",
+            min_samples_leaf=1, n_classes=2, rng=self._rng(),
+        )
+        assert split.feature == 1
+
+    def test_regression_split(self):
+        X = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array([0.0, 0.0, 0.0, 5.0, 5.0, 5.0])
+        split = find_best_split(
+            X, y, allowed_features=np.array([0]), criterion="mse",
+            min_samples_leaf=1, n_classes=None, rng=self._rng(),
+        )
+        assert split is not None
+        assert 2.0 < split.threshold < 10.0
+
+    def test_improvement_is_positive(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0, 0, 1, 1])
+        split = find_best_split(
+            X, y, allowed_features=np.array([0]), criterion="entropy",
+            min_samples_leaf=1, n_classes=2, rng=self._rng(),
+        )
+        assert split.improvement > 0
+
+    def test_threshold_separates_masks(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(50, 3))
+        y = (X[:, 2] > 0).astype(int)
+        split = find_best_split(
+            X, y, allowed_features=np.arange(3), criterion="gini",
+            min_samples_leaf=1, n_classes=2, rng=self._rng(),
+        )
+        assert split is not None
+        np.testing.assert_array_equal(split.left_mask, X[:, split.feature] <= split.threshold)

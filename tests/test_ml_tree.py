@@ -1,0 +1,214 @@
+"""Unit tests for the CART decision-tree estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml._tree import LEAF
+
+
+class TestClassifierBasics:
+    def test_fits_and_predicts_training_data(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=8).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_predict_returns_known_classes(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert set(np.unique(tree.predict(X))) <= set(np.unique(y))
+
+    def test_predict_proba_rows_sum_to_one(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        probabilities = tree.predict_proba(X)
+        assert probabilities.shape == (X.shape[0], 3)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_string_labels_round_trip(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array(["cat", "cat", "dog", "dog"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert list(tree.predict(X)) == ["cat", "cat", "dog", "dog"]
+
+    def test_single_class_gives_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        y = np.zeros(20, dtype=int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.get_n_leaves() == 1
+        assert np.all(tree.predict(X) == 0)
+
+    def test_pure_node_stops_splitting(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier(max_depth=10).fit(X, y)
+        assert tree.get_depth() == 1
+        assert tree.get_n_leaves() == 2
+
+
+class TestClassifierConstraints:
+    def test_max_depth_respected(self, classification_data):
+        X, y = classification_data
+        for depth in (1, 2, 3, 5):
+            tree = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+            assert tree.get_depth() <= depth
+
+    def test_min_samples_leaf_respected(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=10, min_samples_leaf=15).fit(X, y)
+        leaf_ids = tree.apply(X)
+        _, counts = np.unique(leaf_ids, return_counts=True)
+        assert counts.min() >= 15
+
+    def test_feature_budget_limits_distinct_features(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=10, max_distinct_features=2).fit(X, y)
+        assert len(tree.features_used()) <= 2
+
+    def test_feature_budget_of_one(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=10, max_distinct_features=1).fit(X, y)
+        assert len(tree.features_used()) <= 1
+
+    def test_allowed_features_restricts_splits(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=8, allowed_features=[0, 3]).fit(X, y)
+        assert tree.features_used() <= {0, 3}
+
+    def test_allowed_features_out_of_range_raises(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(allowed_features=[99])
+        with pytest.raises(ValueError):
+            tree.fit(X, y)
+
+    def test_unconstrained_tree_beats_budgeted_tree(self, classification_data):
+        X, y = classification_data
+        free = DecisionTreeClassifier(max_depth=8).fit(X, y)
+        budgeted = DecisionTreeClassifier(max_depth=8, max_distinct_features=1).fit(X, y)
+        assert free.score(X, y) >= budgeted.score(X, y)
+
+
+class TestClassifierValidation:
+    def test_invalid_max_depth(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+
+    def test_invalid_min_samples_leaf(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_invalid_criterion(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="nonsense")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_empty_dataset(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_1d_X_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5))
+
+
+class TestClassifierStructure:
+    def test_feature_importances_sum_to_one(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        importances = tree.feature_importances_
+        assert importances.shape == (4,)
+        assert importances.min() >= 0
+        assert np.isclose(importances.sum(), 1.0)
+
+    def test_apply_returns_leaf_ids(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        leaf_ids = tree.apply(X)
+        leaf_nodes = {node.node_id for node in tree.tree_.leaves()}
+        assert set(leaf_ids) <= leaf_nodes
+
+    def test_entropy_criterion_works(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=6, criterion="entropy").fit(X, y)
+        assert tree.score(X, y) > 0.9
+
+    def test_leaf_nodes_have_no_children(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        for node in tree.tree_.nodes:
+            if node.is_leaf:
+                assert node.left == LEAF and node.right == LEAF
+            else:
+                assert node.left != LEAF and node.right != LEAF
+
+    def test_children_deeper_than_parents(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        for node in tree.tree_.nodes:
+            if not node.is_leaf:
+                assert tree.tree_.nodes[node.left].depth == node.depth + 1
+                assert tree.tree_.nodes[node.right].depth == node.depth + 1
+
+    def test_node_sample_counts_are_consistent(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        for node in tree.tree_.nodes:
+            if not node.is_leaf:
+                left = tree.tree_.nodes[node.left]
+                right = tree.tree_.nodes[node.right]
+                assert node.n_samples == left.n_samples + right.n_samples
+
+    def test_deterministic_with_same_seed(self, classification_data):
+        X, y = classification_data
+        a = DecisionTreeClassifier(max_depth=6, random_state=5).fit(X, y)
+        b = DecisionTreeClassifier(max_depth=6, random_state=5).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+
+class TestRegressor:
+    def test_fits_linear_step_function(self):
+        X = np.linspace(0, 10, 200).reshape(-1, 1)
+        y = (X[:, 0] > 5).astype(float) * 3.0
+        reg = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        predictions = reg.predict(X)
+        assert np.abs(predictions - y).max() < 0.5
+
+    def test_score_is_r2(self):
+        X = np.linspace(0, 10, 100).reshape(-1, 1)
+        y = X[:, 0] ** 2
+        reg = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert reg.score(X, y) > 0.95
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(1).normal(size=(30, 2))
+        y = np.full(30, 7.0)
+        reg = DecisionTreeRegressor().fit(X, y)
+        assert reg.get_n_leaves() == 1
+        np.testing.assert_allclose(reg.predict(X), 7.0)
+
+    def test_rejects_non_mse_criterion(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(criterion="gini")
+
+    def test_max_depth_respected(self):
+        X = np.random.default_rng(2).normal(size=(200, 3))
+        y = X[:, 0] + X[:, 1] * 2
+        reg = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert reg.get_depth() <= 3
+
+    def test_prediction_within_target_range(self):
+        X = np.random.default_rng(3).normal(size=(100, 2))
+        y = np.random.default_rng(4).uniform(-5, 5, size=100)
+        reg = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        predictions = reg.predict(X)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9

@@ -1,0 +1,85 @@
+"""Unit tests for CRC32 flow hashing and the flow indexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.flows import FiveTuple
+from repro.switch.hashing import (
+    FlowIndexer,
+    crc32,
+    crc32_reference,
+    hash_five_tuple,
+    register_index,
+)
+
+
+class TestCrc32:
+    def test_known_vector(self):
+        # CRC-32 of "123456789" is the classic check value 0xCBF43926.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_empty_input(self):
+        assert crc32(b"") == 0
+
+    def test_matches_reference_implementation(self):
+        for data in (b"", b"a", b"hello world", bytes(range(32))):
+            assert crc32(data) == crc32_reference(data)
+
+    def test_deterministic(self):
+        five_tuple = FiveTuple(0x0A000001, 0xC0A80001, 1234, 443, 6)
+        assert hash_five_tuple(five_tuple) == hash_five_tuple(five_tuple)
+
+    def test_different_flows_usually_differ(self):
+        a = hash_five_tuple(FiveTuple(1, 2, 3, 4, 6))
+        b = hash_five_tuple(FiveTuple(1, 2, 3, 5, 6))
+        assert a != b
+
+
+class TestRegisterIndex:
+    def test_within_table(self):
+        five_tuple = FiveTuple(1, 2, 3, 4, 6)
+        for size in (1, 7, 1024, 65536):
+            assert 0 <= register_index(five_tuple, size) < size
+
+    def test_invalid_table_size(self):
+        with pytest.raises(ValueError):
+            register_index(FiveTuple(1, 2, 3, 4, 6), 0)
+
+
+class TestFlowIndexer:
+    def test_same_flow_same_slot(self):
+        indexer = FlowIndexer(1024)
+        five_tuple = FiveTuple(1, 2, 3, 4, 6)
+        assert indexer.index_for(five_tuple) == indexer.index_for(five_tuple)
+
+    def test_no_collision_counted_for_same_flow(self):
+        indexer = FlowIndexer(1024)
+        five_tuple = FiveTuple(1, 2, 3, 4, 6)
+        indexer.index_for(five_tuple)
+        indexer.index_for(five_tuple)
+        assert indexer.collisions == 0
+
+    def test_collisions_detected_with_tiny_table(self):
+        indexer = FlowIndexer(1)
+        indexer.index_for(FiveTuple(1, 2, 3, 4, 6))
+        indexer.index_for(FiveTuple(9, 9, 9, 9, 17))
+        assert indexer.collisions == 1
+
+    def test_release_frees_slot(self):
+        indexer = FlowIndexer(1)
+        a = FiveTuple(1, 2, 3, 4, 6)
+        b = FiveTuple(9, 9, 9, 9, 17)
+        indexer.index_for(a)
+        indexer.release(a)
+        indexer.index_for(b)
+        assert indexer.collisions == 0
+
+    def test_occupancy(self):
+        indexer = FlowIndexer(10)
+        indexer.index_for(FiveTuple(1, 2, 3, 4, 6))
+        assert indexer.occupancy == pytest.approx(0.1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FlowIndexer(0)

@@ -1,0 +1,151 @@
+"""Unit tests for the RMT pipeline container, MATs, PHV and recirculation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.flows import FiveTuple, Packet
+from repro.switch.mat import ExactMatchEntry, ExactMatchTable, Stage
+from repro.switch.phv import make_control_phv, make_data_phv
+from repro.switch.pipeline import Pipeline
+from repro.switch.recirculation import RecirculationChannel
+from repro.switch.targets import BLUEFIELD3, TOFINO1, TOFINO2, TRIDENT4, get_target
+from repro.switch.tcam import TcamTable
+
+
+class TestTargets:
+    def test_builtin_targets(self):
+        assert get_target("tofino1") is TOFINO1
+        assert get_target("Tofino2") is TOFINO2
+        assert get_target("TRIDENT4") is TRIDENT4
+        assert get_target("bluefield3") is BLUEFIELD3
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            get_target("tofino9")
+
+    def test_tofino1_budgets_match_paper(self):
+        assert TOFINO1.n_stages == 12
+        assert TOFINO1.tcam_bits == pytest.approx(6.4e6)
+        assert TOFINO1.recirculation_bps == pytest.approx(100e9)
+        assert TOFINO1.max_mats_per_stage == 16
+
+    def test_tofino2_larger_than_tofino1(self):
+        assert TOFINO2.n_stages > TOFINO1.n_stages
+        assert TOFINO2.tcam_bits > TOFINO1.tcam_bits
+
+
+class TestExactMatchTable:
+    def test_add_and_lookup(self):
+        table = ExactMatchTable(name="ops", key_fields={"sid": 8})
+        table.add_entry(ExactMatchEntry(fields={"sid": 3}, action="use_max"))
+        assert table.lookup({"sid": 3}).action == "use_max"
+        assert table.lookup({"sid": 4}) is None
+
+    def test_unknown_field_rejected(self):
+        table = ExactMatchTable(name="ops", key_fields={"sid": 8})
+        with pytest.raises(ValueError):
+            table.add_entry(ExactMatchEntry(fields={"oops": 1}, action="a"))
+
+    def test_memory_accounting(self):
+        table = ExactMatchTable(name="ops", key_fields={"sid": 8, "flag": 8})
+        table.add_entry(ExactMatchEntry(fields={"sid": 1, "flag": 0}, action="a"))
+        assert table.key_width_bits == 16
+        assert table.memory_bits() == 16 + 32
+
+
+class TestStage:
+    def test_mat_budget_enforced(self):
+        stage = Stage(index=0, max_mats=2)
+        stage.add_table(ExactMatchTable(name="a", key_fields={"k": 8}))
+        stage.add_table(ExactMatchTable(name="b", key_fields={"k": 8}))
+        with pytest.raises(ResourceWarning):
+            stage.add_table(ExactMatchTable(name="c", key_fields={"k": 8}))
+
+
+class TestPhv:
+    def test_data_phv(self):
+        phv = make_data_phv(FiveTuple(1, 2, 3, 4, 6), Packet(timestamp=0.0, size=100))
+        assert not phv.is_control
+        assert phv.get("sid") == 0
+
+    def test_control_phv(self):
+        phv = make_control_phv(FiveTuple(1, 2, 3, 4, 6), next_sid=5, timestamp=1.0)
+        assert phv.is_control
+        assert phv.get("next_sid") == 5
+        assert phv.packet.size == 64
+
+    def test_metadata_round_trip(self):
+        phv = make_data_phv(FiveTuple(1, 2, 3, 4, 6), Packet(timestamp=0.0, size=100))
+        phv.set("mark_0", 7)
+        assert phv.get("mark_0") == 7
+        assert phv.bits_used() > 0
+
+
+class TestRecirculationChannel:
+    def test_submit_and_ready(self):
+        channel = RecirculationChannel(latency=0.001)
+        phv = make_control_phv(FiveTuple(1, 2, 3, 4, 6), next_sid=2, timestamp=1.0)
+        channel.submit(phv, timestamp=1.0)
+        assert channel.pending == 1
+        assert channel.ready(1.0005) == []
+        released = channel.ready(1.002)
+        assert len(released) == 1
+        assert channel.pending == 0
+
+    def test_bandwidth_accounting(self):
+        channel = RecirculationChannel()
+        for i in range(10):
+            phv = make_control_phv(FiveTuple(1, 2, 3, 4, 6), next_sid=2, timestamp=float(i))
+            channel.submit(phv, timestamp=float(i))
+        assert channel.packets_recirculated == 10
+        assert channel.bytes_recirculated == 640
+        assert channel.mean_bandwidth_bps() == pytest.approx(640 * 8 / 9.0)
+        assert 0 <= channel.utilisation() < 1
+
+    def test_drain(self):
+        channel = RecirculationChannel()
+        phv = make_control_phv(FiveTuple(1, 2, 3, 4, 6), next_sid=2, timestamp=0.0)
+        channel.submit(phv, 0.0)
+        assert len(channel.drain()) == 1
+        assert channel.pending == 0
+
+
+class TestPipeline:
+    def test_placement_and_report_fits(self):
+        pipeline = Pipeline(TOFINO1)
+        pipeline.allocate_register("sid", size=1024, width=8, stage=0)
+        pipeline.place_table(TcamTable(name="m", key_fields={"k": 32}), stage=1)
+        report = pipeline.resource_report()
+        assert report.fits
+        assert report.stages_used == 2
+        assert report.register_bits_used == 1024 * 8
+
+    def test_register_over_budget_detected(self):
+        pipeline = Pipeline(TOFINO1)
+        # One stage can hold register_bits_per_stage bits; exceed it.
+        size = int(TOFINO1.register_bits_per_stage // 32) + 10
+        pipeline.allocate_register("big", size=size, width=32, stage=0)
+        report = pipeline.resource_report()
+        assert not report.fits
+        assert any("stage 0" in violation for violation in report.violations)
+
+    def test_tcam_over_budget_detected(self):
+        pipeline = Pipeline(TOFINO1)
+        table = TcamTable(name="huge", key_fields={"k": 512})
+        from repro.switch.tcam import TcamEntry, TernaryMatch
+        for i in range(7000):
+            table.add_entry(TcamEntry(fields={"k": TernaryMatch(i, 0xFFFF)}, priority=i, action="a"))
+        pipeline.place_table(table, stage=0)
+        assert not pipeline.resource_report().fits
+
+    def test_invalid_stage_index(self):
+        pipeline = Pipeline(TOFINO1)
+        with pytest.raises(IndexError):
+            pipeline.place_table(TcamTable(name="t", key_fields={"k": 8}), stage=99)
+
+    def test_stages_used_counts_registers_and_tables(self):
+        pipeline = Pipeline(TOFINO1)
+        pipeline.allocate_register("a", size=16, width=8, stage=2)
+        pipeline.place_table(ExactMatchTable(name="t", key_fields={"k": 8}), stage=5)
+        assert pipeline.stages_used() == 2

@@ -1,0 +1,116 @@
+"""Unit tests for register arrays and the register file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.switch.registers import RegisterArray, RegisterFile
+
+
+class TestRegisterArray:
+    def test_initially_zero(self):
+        array = RegisterArray(name="r", size=8, width=32)
+        assert array.read(0) == 0.0
+        assert array.read(7) == 0.0
+
+    def test_write_and_read(self):
+        array = RegisterArray(name="r", size=4, width=32)
+        array.write(2, 123.0)
+        assert array.read(2) == 123.0
+
+    def test_saturating_write(self):
+        array = RegisterArray(name="r", size=2, width=8)
+        array.write(0, 300.0)
+        assert array.read(0) == 255.0
+
+    def test_negative_clamped_to_zero(self):
+        array = RegisterArray(name="r", size=2, width=8)
+        array.write(0, -5.0)
+        assert array.read(0) == 0.0
+
+    def test_add_saturates(self):
+        array = RegisterArray(name="r", size=1, width=4)
+        array.write(0, 10)
+        assert array.add(0, 100) == 15
+
+    def test_maximum_update(self):
+        array = RegisterArray(name="r", size=1, width=16)
+        array.write(0, 10)
+        assert array.maximum(0, 5) == 10
+        assert array.maximum(0, 50) == 50
+
+    def test_clear(self):
+        array = RegisterArray(name="r", size=2, width=16)
+        array.write(1, 9)
+        array.clear(1)
+        assert array.read(1) == 0
+
+    def test_clear_all(self):
+        array = RegisterArray(name="r", size=3, width=16)
+        for i in range(3):
+            array.write(i, 7)
+        array.clear_all()
+        assert all(array.read(i) == 0 for i in range(3))
+
+    def test_out_of_range_index(self):
+        array = RegisterArray(name="r", size=2, width=16)
+        with pytest.raises(IndexError):
+            array.read(2)
+        with pytest.raises(IndexError):
+            array.write(-1, 0)
+
+    def test_total_bits(self):
+        assert RegisterArray(name="r", size=100, width=32).total_bits == 3200
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RegisterArray(name="r", size=0, width=32)
+        with pytest.raises(ValueError):
+            RegisterArray(name="r", size=1, width=0)
+        with pytest.raises(ValueError):
+            RegisterArray(name="r", size=1, width=128)
+
+    def test_access_counters(self):
+        array = RegisterArray(name="r", size=2, width=16)
+        array.write(0, 1)
+        array.read(0)
+        array.read(1)
+        assert array.writes == 1
+        assert array.reads == 2
+
+
+class TestRegisterFile:
+    def test_allocate_and_lookup(self):
+        registers = RegisterFile()
+        registers.allocate("sid", size=16, width=8, stage=0)
+        assert "sid" in registers
+        assert registers["sid"].width == 8
+
+    def test_duplicate_name_rejected(self):
+        registers = RegisterFile()
+        registers.allocate("a", size=4, width=8)
+        with pytest.raises(ValueError):
+            registers.allocate("a", size=4, width=8)
+
+    def test_total_bits_and_per_flow_bits(self):
+        registers = RegisterFile()
+        registers.allocate("a", size=10, width=8, stage=0)
+        registers.allocate("b", size=10, width=32, stage=1)
+        assert registers.total_bits == 10 * 8 + 10 * 32
+        assert registers.bits_per_flow() == 40
+
+    def test_stages_used(self):
+        registers = RegisterFile()
+        registers.allocate("a", size=4, width=8, stage=0)
+        registers.allocate("b", size=4, width=8, stage=3)
+        assert registers.stages_used() == {0, 3}
+
+    def test_clear_flow_selected_arrays(self):
+        registers = RegisterFile()
+        registers.allocate("keep", size=4, width=8)
+        registers.allocate("clear", size=4, width=8)
+        registers["keep"].write(1, 5)
+        registers["clear"].write(1, 5)
+        registers.clear_flow(1, names=["clear"])
+        assert registers["keep"].read(1) == 5
+        assert registers["clear"].read(1) == 0
