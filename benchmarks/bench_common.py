@@ -10,6 +10,7 @@ run.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -20,10 +21,23 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro import baselines, core, datasets  # noqa: E402
+from repro.dataplane import replay_dataset  # noqa: E402
 from repro.switch.targets import TOFINO1  # noqa: E402
 
 #: Number of flows generated per dataset for benchmark-scale training.
 BENCH_FLOWS = 500
+
+#: Replay engine used by the replay-driven benchmarks (fig10, table5,
+#: replay-throughput).  Both engines produce identical results; the
+#: vectorized default keeps the benchmark suite fast.  Override with
+#: ``SPLIDT_REPLAY_ENGINE=reference`` to run the per-packet oracle.
+REPLAY_ENGINE = os.environ.get("SPLIDT_REPLAY_ENGINE", "vectorized")
+
+
+def run_replay(program, dataset, **kwargs):
+    """Replay ``dataset`` through ``program`` with the configured engine."""
+    kwargs.setdefault("engine", REPLAY_ENGINE)
+    return replay_dataset(program, dataset, **kwargs)
 
 #: Flow-count targets reported in the paper.
 FLOW_TARGETS = (100_000, 500_000, 1_000_000)

@@ -10,9 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from bench_common import baseline_at_flows, evaluate_splidt_config, get_store, write_result
+from bench_common import (
+    baseline_at_flows,
+    evaluate_splidt_config,
+    get_store,
+    run_replay,
+    write_result,
+)
 from repro.analysis import render_table, summarize_ttd
-from repro.dataplane import SpliDTDataPlane, TopKDataPlane, replay_dataset
+from repro.dataplane import SpliDTDataPlane, TopKDataPlane
 
 REPLAY_FLOWS = 120
 
@@ -61,9 +67,9 @@ def _run() -> str:
         splidt_program = SpliDTDataPlane(
             splidt_candidate.model, splidt_candidate.rules, flow_slots=8192
         )
-        splidt_result = replay_dataset(splidt_program, subset)
+        splidt_result = run_replay(splidt_program, subset)
         netbeacon_program = TopKDataPlane(netbeacon.model, flow_slots=8192)
-        netbeacon_result = replay_dataset(netbeacon_program, subset)
+        netbeacon_result = run_replay(netbeacon_program, subset)
 
         for system, result in (("SpliDT", splidt_result), ("NetBeacon", netbeacon_result)):
             summary = summarize_ttd(result.time_to_detection())

@@ -1,0 +1,79 @@
+"""Replay-engine throughput — packets/second, reference vs vectorized.
+
+The paper's headline claim is stateful inference at line rate, so the replay
+runtime is the one component whose software throughput matters.  This
+benchmark replays the D3 workload through both engines of
+``replay_dataset`` and records packets/second; the vectorized engine must
+sustain at least 5x the per-packet reference loop (in practice it lands
+well above that) while producing bit-identical verdicts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import evaluate_splidt_config, get_store, write_result
+from repro.analysis import render_table
+from repro.dataplane import SpliDTDataPlane, replay_dataset
+
+#: Flows replayed per engine (the full benchmark store).
+REPLAY_FLOWS = 500
+
+#: Required speedup of the vectorized engine over the reference loop.
+MIN_SPEEDUP = 5.0
+
+
+def _time_engine(candidate, dataset, engine: str) -> tuple[float, dict]:
+    program = SpliDTDataPlane(candidate.model, candidate.rules, flow_slots=65536)
+    started = time.perf_counter()
+    result = replay_dataset(program, dataset, engine=engine)
+    elapsed = time.perf_counter() - started
+    return elapsed, result
+
+
+def _run() -> tuple[str, float]:
+    store = get_store("D3")
+    candidate = evaluate_splidt_config(store, depth=9, k=4, partitions=3)
+    dataset = store.dataset
+    n_packets = sum(flow.n_packets for flow in dataset.flows[:REPLAY_FLOWS])
+
+    rows = []
+    rates = {}
+    results = {}
+    for engine in ("reference", "vectorized"):
+        elapsed, result = _time_engine(candidate, dataset, engine)
+        rates[engine] = n_packets / elapsed
+        results[engine] = result
+        rows.append(
+            [
+                engine,
+                f"{n_packets}",
+                f"{elapsed * 1e3:.1f}",
+                f"{rates[engine]:,.0f}",
+                f"{result.report.f1_score:.3f}",
+            ]
+        )
+
+    speedup = rates["vectorized"] / rates["reference"]
+    rows.append(["speedup", "", "", f"{speedup:.1f}x", ""])
+
+    # The two engines must agree exactly — throughput means nothing otherwise.
+    reference, vectorized = results["reference"], results["vectorized"]
+    assert set(reference.verdicts) == set(vectorized.verdicts)
+    assert all(
+        reference.verdicts[fid].label == vectorized.verdicts[fid].label
+        and reference.verdicts[fid].decided_at == vectorized.verdicts[fid].decided_at
+        for fid in reference.verdicts
+    )
+    assert reference.recirculation == vectorized.recirculation
+
+    table = render_table(
+        ["Engine", "Packets", "Time (ms)", "Packets/s", "F1"], rows
+    )
+    return table, speedup
+
+
+def test_replay_throughput(benchmark):
+    table, speedup = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("replay_throughput", table)
+    assert speedup >= MIN_SPEEDUP, f"vectorized engine only {speedup:.1f}x faster"

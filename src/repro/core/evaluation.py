@@ -42,8 +42,18 @@ def evaluate_partitioned_tree(
     *,
     split: str = "test",
     average: str = "weighted",
+    random_state: int = 0,
 ) -> ClassificationReport:
-    """Evaluate a partitioned tree on the requested split of a windowed dataset."""
+    """Evaluate a partitioned tree on the requested split of a windowed dataset.
+
+    A raw :class:`~repro.datasets.flows.FlowDataset` is also accepted and
+    materialised on the fly; pass the same ``random_state`` that was used
+    for training so the train/test split matches.
+    """
+    if not hasattr(windowed, "window_features"):
+        from repro.datasets.materialize import materialize
+
+        windowed = materialize(windowed, model.n_partitions, random_state=random_state)
     indices = windowed._split_indices(split)
     window_features = windowed.window_features[: model.n_partitions, indices, :]
     y_true = windowed.labels[indices]

@@ -229,14 +229,22 @@ def train_partitioned_tree(
 
     Args:
         windowed: Materialised window-feature dataset (must have at least
-            ``config.n_partitions`` windows).
+            ``config.n_partitions`` windows).  A raw
+            :class:`~repro.datasets.flows.FlowDataset` is also accepted and
+            materialised on the fly with ``config.n_partitions`` windows and
+            the default train/test split.
         config: The model hyper-parameters.
         split: Which split of the dataset to train on.
-        random_state: Seed forwarded to the CART learner.
+        random_state: Seed forwarded to the CART learner (and to the
+            materialisation split when a raw flow dataset is passed).
 
     Returns:
         The trained :class:`PartitionedDecisionTree`.
     """
+    if not hasattr(windowed, "partition_matrix"):
+        from repro.datasets.materialize import materialize
+
+        windowed = materialize(windowed, config.n_partitions, random_state=random_state)
     if windowed.n_partitions < config.n_partitions:
         raise ValueError(
             f"dataset materialised with {windowed.n_partitions} windows but the "

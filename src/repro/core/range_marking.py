@@ -36,6 +36,9 @@ from repro.switch.tcam import range_to_ternary
 #: Width (bits) of the subtree-id match field.
 SID_BITS = 8
 
+#: Outcome codes returned by the batched classification path.
+KIND_NONE, KIND_EXIT, KIND_NEXT = 0, 1, 2
+
 
 class FeatureQuantizer:
     """Maps float feature values onto the integer domain used for match keys.
@@ -80,6 +83,16 @@ class FeatureQuantizer:
         clipped = np.clip(np.asarray(row, dtype=float), 0.0, scales)
         return np.round(clipped / scales * self.max_level).astype(np.int64)
 
+    def quantize_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Quantise a batch of feature vectors (rows) in one shot.
+
+        Elementwise identical to calling :meth:`quantize_row` on every row —
+        the batched replay engine relies on this for bit-identical marks.
+        """
+        scales = self._check_fitted()
+        clipped = np.clip(np.asarray(matrix, dtype=float), 0.0, scales[np.newaxis, :])
+        return np.round(clipped / scales[np.newaxis, :] * self.max_level).astype(np.int64)
+
 
 @dataclass
 class MarkTable:
@@ -121,6 +134,15 @@ class MarkTable:
             else:
                 break
         return mark
+
+    def marks_for(self, quantized_values: np.ndarray) -> np.ndarray:
+        """Marks for a batch of quantised values (vectorized :meth:`mark_for`).
+
+        The thresholds are sorted and unique, so the mark of a value is the
+        number of thresholds strictly below it — a ``searchsorted``.
+        """
+        thresholds = np.asarray(self.thresholds, dtype=np.int64)
+        return np.searchsorted(thresholds, np.asarray(quantized_values, dtype=np.int64), side="left")
 
     def range_bounds(self, mark: int) -> tuple[int, int]:
         """Inclusive integer bounds ``[low, high]`` of the given mark's range."""
@@ -248,6 +270,61 @@ class RuleSet:
             if rule.matches(sid, marks):
                 return rule.outcome_kind, rule.outcome_value
         return None
+
+    def classify_batch(
+        self, sid: int, feature_matrix: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`classify` over a batch of flows in subtree ``sid``.
+
+        Args:
+            sid: The (shared) active subtree of every row.
+            feature_matrix: ``(n_flows, n_features)`` raw feature values,
+                one row per flow at its window boundary.
+
+        Returns:
+            ``(kinds, values)`` — ``kinds`` holds :data:`KIND_EXIT`,
+            :data:`KIND_NEXT` or :data:`KIND_NONE` per row (first-match
+            semantics, identical to the scalar path), ``values`` the matched
+            class label or next subtree id (0 where no rule matched).
+
+        Example::
+
+            >>> kinds, values = rules.classify_batch(1, features)
+            >>> labels = values[kinds == KIND_EXIT]
+        """
+        n_rows = feature_matrix.shape[0]
+        kinds = np.full(n_rows, KIND_NONE, dtype=np.int8)
+        values = np.zeros(n_rows, dtype=np.int64)
+        rules = self.subtree_rules.get(sid)
+        if rules is None or n_rows == 0:
+            return kinds, values
+
+        quantized = self.quantizer.quantize_matrix(feature_matrix)
+        marks = {
+            feature: table.marks_for(quantized[:, feature])
+            for feature, table in rules.mark_tables.items()
+        }
+        unmatched = np.ones(n_rows, dtype=bool)
+        for rule in rules.model_rules:
+            hit = unmatched.copy()
+            for feature, (low, high) in rule.mark_intervals.items():
+                feature_marks = marks.get(feature)
+                if feature_marks is None:
+                    # No mark table for this feature: the rule can never
+                    # match, exactly as in the scalar ModelRule.matches.
+                    hit[:] = False
+                    break
+                hit &= (feature_marks >= low) & (feature_marks <= high)
+                if not hit.any():
+                    break
+            if not hit.any():
+                continue
+            kinds[hit] = KIND_EXIT if rule.outcome_kind == OUTCOME_EXIT else KIND_NEXT
+            values[hit] = rule.outcome_value
+            unmatched &= ~hit
+            if not unmatched.any():
+                break
+        return kinds, values
 
 
 # ----------------------------------------------------------------------

@@ -1,20 +1,29 @@
-"""Data-plane execution of compiled models on the switch substrate."""
+"""Data-plane execution of compiled models on the switch substrate.
+
+Replay a dataset with :func:`replay_dataset`, choosing between the
+per-packet ``"reference"`` engine (the semantics oracle) and the batched
+``"vectorized"`` engine (:mod:`repro.dataplane.vectorized`); both produce
+bit-identical results.
+"""
 
 from repro.dataplane.codegen import generate_p4_program, generate_table_entries
 from repro.dataplane.controller import Controller, Digest
-from repro.dataplane.runtime import ReplayResult, replay_dataset, ttd_ecdf
+from repro.dataplane.runtime import REPLAY_ENGINES, ReplayResult, replay_dataset, ttd_ecdf
 from repro.dataplane.splidt_program import FlowVerdict, SpliDTDataPlane
 from repro.dataplane.topk_program import TopKDataPlane
+from repro.dataplane.vectorized import replay_arrays
 
 __all__ = [
     "Controller",
     "Digest",
     "FlowVerdict",
+    "REPLAY_ENGINES",
     "ReplayResult",
     "SpliDTDataPlane",
     "TopKDataPlane",
     "generate_p4_program",
     "generate_table_entries",
+    "replay_arrays",
     "replay_dataset",
     "ttd_ecdf",
 ]

@@ -27,7 +27,15 @@ class Digest:
 
 @dataclass
 class Controller:
-    """Installs compiled rules and receives digests."""
+    """Installs compiled rules and receives digests.
+
+    Example::
+
+        >>> controller = Controller(pipeline)
+        >>> controller.install_rules(rules, feature_table_stage=3, model_table_stage=5)
+        >>> controller.labels_by_flow()  # doctest: +SKIP
+        {0: 2, 1: 0}
+    """
 
     pipeline: Pipeline
     digests: list[Digest] = field(default_factory=list)

@@ -15,6 +15,10 @@ This mirrors the P4 program of Figure 4: per packet, the program
 
 State is held in the pipeline's register arrays, indexed by the CRC32 flow
 hash, so hash collisions corrupt state exactly as they would on hardware.
+
+The scalar path above serves ``replay_dataset(..., engine="reference")``;
+the batched :meth:`SpliDTDataPlane.step_windows` API applies the same
+transitions to many flows at once for ``engine="vectorized"``.
 """
 
 from __future__ import annotations
@@ -24,14 +28,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.partitioned_tree import PartitionedDecisionTree
-from repro.core.range_marking import RuleSet
+from repro.core.range_marking import KIND_EXIT, KIND_NEXT, RuleSet
 from repro.dataplane.controller import Controller, Digest
 from repro.datasets.flows import FiveTuple
 from repro.features.definitions import FEATURES, N_FEATURES, feature_names
 from repro.features.stateful import StatefulOperator, make_operator
 from repro.features.window import window_boundaries
 from repro.switch.hashing import FlowIndexer
-from repro.switch.phv import Phv, make_control_phv
+from repro.switch.phv import CONTROL_PACKET_BYTES, Phv, make_control_phv
 from repro.switch.pipeline import Pipeline
 from repro.switch.targets import TOFINO1, TargetSpec
 
@@ -69,7 +73,23 @@ class _FlowState:
 
 
 class SpliDTDataPlane:
-    """Packet-by-packet execution of a compiled SpliDT model."""
+    """Execution of a compiled SpliDT model on the switch substrate.
+
+    Exposes two equivalent paths, selected by the ``engine`` parameter of
+    :func:`repro.dataplane.replay_dataset`: the scalar
+    :meth:`process_packet` interpreter (the ``"reference"`` engine) and the
+    batched :meth:`begin_flows` / :meth:`step_windows` API the
+    ``"vectorized"`` engine drives with NumPy masks over the register and
+    subtree state.
+
+    Example::
+
+        >>> from repro.dataplane import SpliDTDataPlane, replay_dataset
+        >>> program = SpliDTDataPlane(model, rules, flow_slots=8192)
+        >>> result = replay_dataset(program, dataset, engine="vectorized")
+        >>> len(result.verdicts) <= dataset.n_flows
+        True
+    """
 
     def __init__(
         self,
@@ -224,6 +244,155 @@ class SpliDTDataPlane:
         )
         state.decided = True
         return verdict
+
+    # ------------------------------------------------------------------
+    # Batched path (vectorized replay engine)
+    # ------------------------------------------------------------------
+    def begin_flows(self, slots: np.ndarray) -> None:
+        """Batched flow admission: seed the reserved state of many slots.
+
+        Equivalent to the per-slot ``sid``/``pkt_count`` register writes the
+        scalar path performs when a new flow claims its slot, issued as two
+        NumPy scatters.
+
+        Example::
+
+            >>> program.begin_flows(np.array([17, 103, 2041]))
+        """
+        slots = np.asarray(slots, dtype=np.intp)
+        if slots.size == 0:
+            return
+        self.pipeline.registers["sid"].write_many(slots, np.full(slots.size, self.model.root_sid))
+        self.pipeline.registers["pkt_count"].write_many(slots, np.zeros(slots.size))
+
+    def step_windows(
+        self,
+        *,
+        flow_ids: np.ndarray,
+        slots: np.ndarray,
+        sids: np.ndarray,
+        window_index: int,
+        feature_matrix: np.ndarray,
+        boundary_ts: np.ndarray,
+        first_packet_ts: np.ndarray,
+        packets_seen: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance many flows across one window boundary in a single call.
+
+        This is the batched equivalent of :meth:`process_packet` reaching a
+        window boundary: every row is one flow whose ``window_index``-th
+        window just completed, carrying the window's feature vector.  Flows
+        are grouped by active subtree (NumPy masks over ``sids``), the
+        subtree's rules are evaluated vectorized, and the three scalar
+        outcomes are applied batch-wise:
+
+        * *exit* / no-match / last window → verdict recorded, digest emitted;
+        * *next subtree* → recirculation accounted, ``sid`` register written,
+          feature and dependency registers cleared.
+
+        Args:
+            flow_ids: Bookkeeping flow ids (one per row).
+            slots: Register slot of each flow.
+            sids: Active subtree id of each flow.
+            window_index: The window every row just completed (all rows
+                advance in lock-step rounds).
+            feature_matrix: ``(n, N_FEATURES)`` raw feature values at the
+                boundary.
+            boundary_ts: Timestamp of each flow's boundary packet.
+            first_packet_ts: Timestamp of each flow's first packet.
+            packets_seen: Cumulative packets of each flow at the boundary.
+
+        Returns:
+            ``(advance_mask, next_sids)`` — rows with ``advance_mask`` True
+            transitioned to ``next_sids`` and stay live; all other rows
+            received their final verdict.
+
+        Example::
+
+            >>> alive, sids = program.step_windows(
+            ...     flow_ids=ids, slots=slots, sids=sids, window_index=0,
+            ...     feature_matrix=features, boundary_ts=ts,
+            ...     first_packet_ts=first_ts, packets_seen=seen)
+        """
+        n_rows = len(flow_ids)
+        kinds = np.zeros(n_rows, dtype=np.int8)
+        values = np.zeros(n_rows, dtype=np.int64)
+        for sid in np.unique(sids):
+            mask = sids == sid
+            kinds[mask], values[mask] = self.rules.classify_batch(
+                int(sid), feature_matrix[mask]
+            )
+
+        self.pipeline.registers["pkt_count"].write_many(slots, packets_seen)
+        self._mirror_feature_registers_batch(slots, sids, feature_matrix)
+
+        is_last = window_index >= self.model.config.n_partitions - 1
+        advance = (kinds == KIND_NEXT) & (not is_last)
+        decided = ~advance
+
+        labels = np.where(kinds == KIND_EXIT, values, self.model.default_label)
+        early_exits = (kinds == KIND_EXIT) & (not is_last)
+        for row in np.flatnonzero(decided):
+            self._finalise(
+                int(flow_ids[row]),
+                int(slots[row]),
+                _FlowState(
+                    sid=int(sids[row]),
+                    first_packet_at=float(first_packet_ts[row]),
+                    n_recirculations=window_index,
+                ),
+                int(labels[row]),
+                float(boundary_ts[row]),
+                bool(early_exits[row]),
+            )
+
+        next_sids = values[advance]
+        if next_sids.size:
+            advance_slots = slots[advance]
+            self.pipeline.recirculation.submit_batch(
+                boundary_ts[advance], CONTROL_PACKET_BYTES
+            )
+            self.pipeline.registers["sid"].write_many(advance_slots, next_sids)
+            self.pipeline.registers["pkt_count"].write_many(
+                advance_slots, packets_seen[advance]
+            )
+            clear_names = [
+                name
+                for name in self.pipeline.registers.arrays
+                if name.startswith("feature_slot_") or name.startswith("dependency_")
+            ]
+            self.pipeline.registers.clear_flows(advance_slots, clear_names)
+        return advance, values
+
+    def _mirror_feature_registers_batch(
+        self, slots: np.ndarray, sids: np.ndarray, feature_matrix: np.ndarray
+    ) -> None:
+        """Batched equivalent of :meth:`_mirror_feature_registers`."""
+        k = self.model.config.features_per_subtree
+        for sid in np.unique(sids):
+            stateful = self.subtree_stateful_features(int(sid))
+            mask = sids == sid
+            for position, feature in enumerate(stateful[:k]):
+                register = self.pipeline.registers[f"feature_slot_{position}"]
+                register.write_many(
+                    slots[mask],
+                    np.minimum(feature_matrix[mask, feature], register.max_value),
+                )
+
+    def subtree_stateful_features(self, sid: int) -> list[int]:
+        """Sorted stateful feature indices of subtree ``sid`` (its operator bank).
+
+        The batched engine uses this to know which window aggregates to
+        materialise for flows whose active subtree is ``sid``.
+        """
+        subtree = self.model.subtrees.get(int(sid))
+        if subtree is None:
+            return []
+        return [
+            feature
+            for feature in sorted(subtree.features_used())
+            if FEATURES[feature].stateful
+        ]
 
     # ------------------------------------------------------------------
     # Helpers

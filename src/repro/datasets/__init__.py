@@ -14,6 +14,7 @@ from repro.datasets.flows import (
     Flow,
     FlowDataset,
     Packet,
+    PacketArrays,
 )
 from repro.datasets.generators import ClassSignature, SyntheticTrafficGenerator, generate_dataset
 from repro.datasets.materialize import DatasetStore, WindowedDataset, materialize
@@ -51,6 +52,7 @@ __all__ = [
     "PROTO_TCP",
     "PROTO_UDP",
     "Packet",
+    "PacketArrays",
     "RECIRCULATION_CAPACITY_BPS",
     "RecirculationEstimate",
     "SyntheticTrafficGenerator",

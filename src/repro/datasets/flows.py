@@ -4,6 +4,18 @@ These classes are the common currency between the synthetic traffic
 generators, the flow-feature engine, and the data-plane simulator: a
 :class:`Flow` is a labelled sequence of :class:`Packet` objects identified by
 a :class:`FiveTuple`.
+
+Two representations of the same traffic coexist:
+
+* the object form (``Flow`` / ``Packet``), convenient for generation and for
+  the per-packet *reference* replay engine, and
+* :class:`PacketArrays`, a structure-of-arrays (SoA) form — flat NumPy
+  columns of timestamps, sizes, flags, directions and payloads laid out
+  flow-major, with a precomputed global ``(timestamp, flow_id)`` interleave
+  permutation.  The *vectorized* replay engine
+  (``repro.dataplane.vectorized``) and the batched program APIs operate on
+  this form, and ``replay_dataset(..., engine="reference")`` reuses its
+  interleave order instead of re-sorting packets on every call.
 """
 
 from __future__ import annotations
@@ -30,7 +42,13 @@ class FiveTuple:
     protocol: int
 
     def as_bytes(self) -> bytes:
-        """Canonical byte encoding used for CRC32 hashing in the data plane."""
+        """Canonical byte encoding used for CRC32 hashing in the data plane.
+
+        Example::
+
+            >>> len(FiveTuple(1, 2, 3, 4, 6).as_bytes())
+            13
+        """
         return (
             int(self.src_ip).to_bytes(4, "big")
             + int(self.dst_ip).to_bytes(4, "big")
@@ -59,7 +77,13 @@ class Packet:
     payload: int = 0
 
     def has_flag(self, name: str) -> bool:
-        """Whether the TCP flag ``name`` (e.g. ``"SYN"``) is set."""
+        """Whether the TCP flag ``name`` (e.g. ``"SYN"``) is set.
+
+        Example::
+
+            >>> Packet(timestamp=0.0, size=60, flags=0x12).has_flag("SYN")
+            True
+        """
         return bool(self.flags & TCP_FLAGS[name])
 
 
@@ -130,7 +154,13 @@ class FlowDataset:
         return len(self.class_names)
 
     def labels(self) -> np.ndarray:
-        """Label vector aligned with :attr:`flows`."""
+        """Label vector aligned with :attr:`flows`.
+
+        Example::
+
+            >>> dataset.labels().shape == (dataset.n_flows,)
+            True
+        """
         return np.array([flow.label for flow in self.flows], dtype=np.intp)
 
     def class_counts(self) -> np.ndarray:
@@ -147,3 +177,139 @@ class FlowDataset:
             class_names=list(self.class_names),
             metadata=dict(self.metadata),
         )
+
+    def packet_arrays(self) -> "PacketArrays":
+        """Structure-of-arrays view of all packets (see :class:`PacketArrays`).
+
+        Example::
+
+            >>> dataset = FlowDataset("demo", "", flows, ["benign", "attack"])
+            >>> soa = dataset.packet_arrays()
+            >>> soa.timestamps.shape == (soa.n_packets,)
+            True
+        """
+        return PacketArrays.from_flows(self.flows)
+
+
+@dataclass
+class PacketArrays:
+    """Structure-of-arrays (SoA) packet representation for batched replay.
+
+    All per-packet columns are flat NumPy arrays laid out *flow-major*: the
+    packets of flow ``i`` occupy the half-open slice
+    ``[flow_starts[i], flow_starts[i + 1])``, in their original (time) order.
+    Per-flow columns are index-aligned with the ``flows`` list the arrays
+    were built from.  ``interleave_order`` is the permutation that sorts all
+    packets by ``(timestamp, flow_id)`` — the order in which a switch would
+    observe them — computed once at construction instead of on every replay.
+
+    Example::
+
+        >>> soa = PacketArrays.from_flows(dataset.flows)
+        >>> first = soa.interleave_order[0]          # earliest packet overall
+        >>> flow_of_first = soa.packet_flow[first]   # index into the flow list
+        >>> window = soa.timestamps[soa.flow_starts[2]:soa.flow_starts[3]]
+
+    Attributes:
+        timestamps: Packet arrival times (seconds), ``float64``.
+        sizes: Packet lengths in bytes, ``float64`` (integer-valued).
+        flags: TCP flag bitmaps, ``int64``.
+        directions: +1 forward / -1 backward, ``int64``.
+        payloads: Payload lengths in bytes, ``float64`` (integer-valued).
+        packet_flow: Per-packet index into the originating flow list.
+        flow_starts: Offsets of each flow's first packet; length
+            ``n_flows + 1`` with ``flow_starts[-1] == n_packets``.
+        flow_ids: Per-flow ``Flow.flow_id`` values.
+        labels: Per-flow ground-truth labels.
+        n_packets_per_flow: Per-flow packet counts.
+        src_ports / dst_ports / protocols: Per-flow 5-tuple columns used for
+            the stateless header features.
+        first_sizes: Per-flow size of the first packet (``pkt_len_first``).
+        first_timestamps: Per-flow timestamp of the first packet.
+        interleave_order: Permutation of packet indices giving the global
+            ``(timestamp, flow_id)`` replay order.
+    """
+
+    timestamps: np.ndarray
+    sizes: np.ndarray
+    flags: np.ndarray
+    directions: np.ndarray
+    payloads: np.ndarray
+    packet_flow: np.ndarray
+    flow_starts: np.ndarray
+    flow_ids: np.ndarray
+    labels: np.ndarray
+    n_packets_per_flow: np.ndarray
+    src_ports: np.ndarray
+    dst_ports: np.ndarray
+    protocols: np.ndarray
+    first_sizes: np.ndarray
+    first_timestamps: np.ndarray
+    interleave_order: np.ndarray
+
+    @classmethod
+    def from_flows(cls, flows: list[Flow]) -> "PacketArrays":
+        """Build the SoA columns from a list of :class:`Flow` objects."""
+        counts = np.array([flow.n_packets for flow in flows], dtype=np.intp)
+        flow_starts = np.zeros(len(flows) + 1, dtype=np.intp)
+        np.cumsum(counts, out=flow_starts[1:])
+        total = int(flow_starts[-1])
+
+        all_packets = [packet for flow in flows for packet in flow.packets]
+        timestamps = np.array([p.timestamp for p in all_packets], dtype=np.float64)
+        sizes = np.array([p.size for p in all_packets], dtype=np.float64)
+        flags = np.array([p.flags for p in all_packets], dtype=np.int64)
+        directions = np.array([p.direction for p in all_packets], dtype=np.int64)
+        payloads = np.array([p.payload for p in all_packets], dtype=np.float64)
+        packet_flow = np.repeat(np.arange(len(flows), dtype=np.intp), counts)
+
+        flow_ids = np.array([flow.flow_id for flow in flows], dtype=np.int64)
+        labels = np.array([flow.label for flow in flows], dtype=np.int64)
+        src_ports = np.array([flow.five_tuple.src_port for flow in flows], dtype=np.int64)
+        dst_ports = np.array([flow.five_tuple.dst_port for flow in flows], dtype=np.int64)
+        protocols = np.array([flow.five_tuple.protocol for flow in flows], dtype=np.int64)
+        if total:
+            safe_first = np.minimum(flow_starts[:-1], total - 1)
+            first_sizes = np.where(counts > 0, sizes[safe_first], 0.0)
+            first_timestamps = np.where(counts > 0, timestamps[safe_first], 0.0)
+        else:
+            first_sizes = np.zeros(len(flows), dtype=np.float64)
+            first_timestamps = np.zeros(len(flows), dtype=np.float64)
+
+        # Global (timestamp, flow_id) replay order; lexsort is stable, so ties
+        # keep the flow-major construction order exactly as the per-packet
+        # reference sort did.
+        interleave_order = np.lexsort((flow_ids[packet_flow], timestamps))
+
+        return cls(
+            timestamps=timestamps,
+            sizes=sizes,
+            flags=flags,
+            directions=directions,
+            payloads=payloads,
+            packet_flow=packet_flow,
+            flow_starts=flow_starts,
+            flow_ids=flow_ids,
+            labels=labels,
+            n_packets_per_flow=counts.astype(np.int64),
+            src_ports=src_ports,
+            dst_ports=dst_ports,
+            protocols=protocols,
+            first_sizes=first_sizes,
+            first_timestamps=first_timestamps,
+            interleave_order=interleave_order,
+        )
+
+    @property
+    def n_flows(self) -> int:
+        """Number of flows the arrays were built from."""
+        return len(self.flow_ids)
+
+    @property
+    def n_packets(self) -> int:
+        """Total number of packets across all flows."""
+        return int(self.flow_starts[-1])
+
+    def flow_slice(self, flow_index: int) -> slice:
+        """Half-open slice of flow ``flow_index``'s packets in the columns."""
+        return slice(int(self.flow_starts[flow_index]), int(self.flow_starts[flow_index + 1]))

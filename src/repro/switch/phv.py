@@ -12,6 +12,9 @@ from dataclasses import dataclass, field
 
 from repro.datasets.flows import FiveTuple, Packet
 
+#: Wire size (bytes) of a recirculated control packet.
+CONTROL_PACKET_BYTES = 64
+
 
 @dataclass
 class Phv:
@@ -53,7 +56,9 @@ def make_data_phv(five_tuple: FiveTuple, packet: Packet) -> Phv:
 
 def make_control_phv(five_tuple: FiveTuple, next_sid: int, timestamp: float) -> Phv:
     """PHV for a recirculated control packet carrying the next subtree id."""
-    control_packet = Packet(timestamp=timestamp, size=64, flags=0, direction=1, payload=0)
+    control_packet = Packet(
+        timestamp=timestamp, size=CONTROL_PACKET_BYTES, flags=0, direction=1, payload=0
+    )
     phv = Phv(five_tuple=five_tuple, packet=control_packet)
     phv.set("is_control", 1)
     phv.set("next_sid", next_sid)

@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.switch.phv import Phv
 
 
@@ -36,10 +38,30 @@ class RecirculationChannel:
         """Queue a control packet for re-injection at ``timestamp + latency``."""
         self.packets_recirculated += 1
         self.bytes_recirculated += phv.packet.size
-        if self.first_timestamp is None:
-            self.first_timestamp = timestamp
-        self.last_timestamp = timestamp
+        self._observe_interval(timestamp, timestamp)
         self._queue.append((timestamp + self.latency, phv))
+
+    def submit_batch(self, timestamps, packet_bytes: int) -> None:
+        """Account for many control packets at once (vectorized engine).
+
+        The batched replay engine applies subtree transitions synchronously,
+        so the control packets never need to sit in the queue — this method
+        only updates the bandwidth-accounting counters, exactly as the same
+        number of :meth:`submit` / :meth:`ready` pairs would have.
+        """
+        timestamps = np.asarray(timestamps, dtype=float)
+        if timestamps.size == 0:
+            return
+        self.packets_recirculated += int(timestamps.size)
+        self.bytes_recirculated += packet_bytes * int(timestamps.size)
+        self._observe_interval(float(timestamps.min()), float(timestamps.max()))
+
+    def _observe_interval(self, earliest: float, latest: float) -> None:
+        """Widen the observed submission interval (order-insensitive)."""
+        if self.first_timestamp is None or earliest < self.first_timestamp:
+            self.first_timestamp = earliest
+        if self.last_timestamp is None or latest > self.last_timestamp:
+            self.last_timestamp = latest
 
     def ready(self, now: float) -> list[Phv]:
         """Pop every control packet whose re-injection time has arrived."""

@@ -78,6 +78,32 @@ class RegisterArray:
         """Reset one entry to zero (SpliDT's per-window register clear)."""
         self.write(index, 0.0)
 
+    # ------------------------------------------------------------------
+    # Batched access (vectorized replay engine)
+    # ------------------------------------------------------------------
+    def read_many(self, indices: np.ndarray) -> np.ndarray:
+        """Read many entries at once; counts one read per entry."""
+        indices = self._check_indices(indices)
+        self.reads += len(indices)
+        return self._values[indices].astype(np.float64)
+
+    def write_many(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Write many entries at once, saturating at the register width.
+
+        Semantically equivalent to calling :meth:`write` once per
+        ``(index, value)`` pair (last write wins on duplicate indices), but
+        performed as a single NumPy scatter; counts one write per entry.
+        """
+        indices = self._check_indices(indices)
+        self.writes += len(indices)
+        self._values[indices] = np.clip(np.asarray(values, dtype=np.float64), 0.0, self.max_value)
+
+    def clear_many(self, indices: np.ndarray) -> None:
+        """Reset many entries to zero (batched per-window register clear)."""
+        indices = self._check_indices(indices)
+        self.writes += len(indices)
+        self._values[indices] = 0.0
+
     def clear_all(self) -> None:
         """Reset the whole array."""
         self._values[:] = 0.0
@@ -85,6 +111,12 @@ class RegisterArray:
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self.size:
             raise IndexError(f"register index {index} out of range [0, {self.size})")
+
+    def _check_indices(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.size):
+            raise IndexError(f"register indices out of range [0, {self.size})")
+        return indices
 
 
 @dataclass
@@ -130,3 +162,9 @@ class RegisterFile:
         targets = names if names is not None else list(self.arrays)
         for name in targets:
             self.arrays[name].clear(index)
+
+    def clear_flows(self, indices: np.ndarray, names: list[str] | None = None) -> None:
+        """Clear many flows' entries in the named arrays (default: all)."""
+        targets = names if names is not None else list(self.arrays)
+        for name in targets:
+            self.arrays[name].clear_many(indices)

@@ -1,0 +1,196 @@
+"""Engine-parity tests: the vectorized replay must match the reference loop.
+
+The contract (see ``repro/dataplane/vectorized.py``): for any dataset,
+``replay_dataset(..., engine="vectorized")`` produces bit-identical verdicts
+(label, decision time, first-packet time, recirculation count, early-exit
+flag), time-to-detection arrays and recirculation statistics to
+``engine="reference"``.  The suite exercises several D-datasets, jittered
+concurrent starts, ``max_flows`` truncation, and a deliberately tiny register
+file that forces hash collisions (the scalar-fallback path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import core, datasets
+from repro.baselines import train_topk_model
+from repro.core.config import TopKConfig
+from repro.core.range_marking import generate_rules
+from repro.dataplane import SpliDTDataPlane, TopKDataPlane, replay_dataset
+from repro.datasets.flows import PacketArrays
+
+
+def _assert_identical(reference, vectorized):
+    """Field-by-field equality of two ReplayResults."""
+    assert set(reference.verdicts) == set(vectorized.verdicts)
+    for flow_id, ref_verdict in reference.verdicts.items():
+        vec_verdict = vectorized.verdicts[flow_id]
+        assert ref_verdict.label == vec_verdict.label
+        assert ref_verdict.decided_at == vec_verdict.decided_at
+        assert ref_verdict.first_packet_at == vec_verdict.first_packet_at
+        assert ref_verdict.n_recirculations == vec_verdict.n_recirculations
+        assert ref_verdict.early_exit == vec_verdict.early_exit
+    assert np.array_equal(reference.time_to_detection(), vectorized.time_to_detection())
+    assert np.array_equal(
+        reference.recirculations_per_flow(), vectorized.recirculations_per_flow()
+    )
+    assert reference.labels == vectorized.labels
+    assert reference.report.f1_score == vectorized.report.f1_score
+    assert reference.report.accuracy == vectorized.report.accuracy
+    assert reference.recirculation == vectorized.recirculation
+
+
+def _splidt_artifacts(key: str, *, n_flows: int, depth: int, k: int, partitions: int, seed: int):
+    dataset = datasets.load_dataset(key, n_flows=n_flows, seed=seed)
+    store = datasets.DatasetStore(dataset, random_state=seed)
+    windowed = store.fetch(partitions)
+    base = depth // partitions
+    sizes = tuple([base] * (partitions - 1) + [depth - base * (partitions - 1)])
+    config = core.SpliDTConfig(
+        depth=depth, features_per_subtree=k, partition_sizes=sizes
+    )
+    model = core.train_partitioned_tree(windowed, config, random_state=seed)
+    training = np.vstack(
+        [windowed.partition_matrix(p, "train") for p in range(partitions)]
+    )
+    rules = generate_rules(model, training)
+    return dataset, model, rules
+
+
+class TestSpliDTParity:
+    @pytest.fixture(scope="class")
+    def artifacts(self, splidt_model, splidt_rules, small_dataset):
+        return small_dataset, splidt_model, splidt_rules
+
+    def _both(self, artifacts, *, flow_slots=8192, **kwargs):
+        dataset, model, rules = artifacts
+        reference = replay_dataset(
+            SpliDTDataPlane(model, rules, flow_slots=flow_slots),
+            dataset,
+            engine="reference",
+            **kwargs,
+        )
+        vectorized = replay_dataset(
+            SpliDTDataPlane(model, rules, flow_slots=flow_slots),
+            dataset,
+            engine="vectorized",
+            **kwargs,
+        )
+        return reference, vectorized
+
+    def test_plain_replay(self, artifacts):
+        _assert_identical(*self._both(artifacts))
+
+    def test_jittered_starts(self, artifacts):
+        _assert_identical(*self._both(artifacts, jitter_starts=True, seed=5))
+
+    def test_max_flows_truncation(self, artifacts):
+        _assert_identical(*self._both(artifacts, max_flows=97))
+
+    def test_forced_collisions_use_scalar_path(self, artifacts):
+        # 64 slots for 360 flows: most flows collide and take the per-packet
+        # fallback; the rest stay batched.  The mixture must still be exact.
+        _assert_identical(*self._both(artifacts, flow_slots=64))
+
+    def test_collisions_with_jitter(self, artifacts):
+        _assert_identical(
+            *self._both(artifacts, flow_slots=128, jitter_starts=True, seed=2)
+        )
+
+    def test_single_flow(self, artifacts):
+        _assert_identical(*self._both(artifacts, max_flows=1))
+
+
+@pytest.mark.parametrize(
+    "key,depth,k,partitions",
+    [("D1", 8, 6, 4), ("D2", 10, 5, 5), ("D4", 8, 8, 2)],
+)
+def test_splidt_parity_across_datasets(key, depth, k, partitions):
+    """Different datasets/configs activate different feature kernels."""
+    dataset, model, rules = _splidt_artifacts(
+        key, n_flows=120, depth=depth, k=k, partitions=partitions, seed=13
+    )
+    reference = replay_dataset(
+        SpliDTDataPlane(model, rules, flow_slots=8192),
+        dataset,
+        engine="reference",
+        jitter_starts=True,
+    )
+    vectorized = replay_dataset(
+        SpliDTDataPlane(model, rules, flow_slots=8192),
+        dataset,
+        engine="vectorized",
+        jitter_starts=True,
+    )
+    _assert_identical(reference, vectorized)
+
+
+class TestTopKParity:
+    @pytest.fixture(scope="class")
+    def topk_model(self, windowed3):
+        return train_topk_model(windowed3, TopKConfig(depth=6, top_k=4))
+
+    def _both(self, model, dataset, *, flow_slots=8192, **kwargs):
+        reference = replay_dataset(
+            TopKDataPlane(model, flow_slots=flow_slots),
+            dataset,
+            engine="reference",
+            **kwargs,
+        )
+        vectorized = replay_dataset(
+            TopKDataPlane(model, flow_slots=flow_slots),
+            dataset,
+            engine="vectorized",
+            **kwargs,
+        )
+        return reference, vectorized
+
+    def test_plain_replay(self, topk_model, small_dataset):
+        _assert_identical(*self._both(topk_model, small_dataset))
+
+    def test_jittered_starts(self, topk_model, small_dataset):
+        _assert_identical(
+            *self._both(topk_model, small_dataset, jitter_starts=True, seed=9)
+        )
+
+    def test_max_flows_truncation(self, topk_model, small_dataset):
+        _assert_identical(*self._both(topk_model, small_dataset, max_flows=50))
+
+    def test_forced_collisions(self, topk_model, small_dataset):
+        _assert_identical(*self._both(topk_model, small_dataset, flow_slots=64))
+
+
+class TestPacketArrays:
+    def test_flow_major_layout(self, small_dataset):
+        soa = small_dataset.packet_arrays()
+        assert soa.n_flows == small_dataset.n_flows
+        assert soa.n_packets == sum(f.n_packets for f in small_dataset.flows)
+        for index in (0, 7, soa.n_flows - 1):
+            flow = small_dataset.flows[index]
+            window = soa.flow_slice(index)
+            assert np.array_equal(
+                soa.timestamps[window], [p.timestamp for p in flow.packets]
+            )
+            assert np.array_equal(soa.sizes[window], [p.size for p in flow.packets])
+
+    def test_interleave_matches_event_sort(self, small_dataset):
+        soa = small_dataset.packet_arrays()
+        events = []
+        for index, flow in enumerate(small_dataset.flows):
+            for offset, packet in enumerate(flow.packets):
+                events.append(
+                    (packet.timestamp, flow.flow_id, int(soa.flow_starts[index]) + offset)
+                )
+        events.sort(key=lambda item: (item[0], item[1]))
+        assert np.array_equal(soa.interleave_order, [position for _, _, position in events])
+
+    def test_empty(self):
+        soa = PacketArrays.from_flows([])
+        assert soa.n_flows == 0 and soa.n_packets == 0
+
+    def test_rejects_unknown_engine(self, small_dataset, splidt_model, splidt_rules):
+        program = SpliDTDataPlane(splidt_model, splidt_rules)
+        with pytest.raises(ValueError, match="unknown engine"):
+            replay_dataset(program, small_dataset, engine="warp")
