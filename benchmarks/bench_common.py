@@ -6,11 +6,17 @@ one pytest process), provide small model-selection routines for SpliDT and
 the baselines at the paper's flow-count targets, and write each benchmark's
 output table to ``benchmarks/results/`` so the regenerated rows survive the
 run.
+
+Since the ``repro.pipeline`` layer landed, the harness sits on top of it:
+baseline model search goes through the system registry (the same adapters
+``python -m repro`` drives), replay-engine selection routes through
+:meth:`ExperimentSpec.resolved_engine`, and :func:`splidt_experiment` hands a
+benchmark a fully staged :class:`~repro.pipeline.Experiment` that shares
+this module's dataset-store cache.
 """
 
 from __future__ import annotations
 
-import os
 import sys
 from pathlib import Path
 
@@ -20,23 +26,38 @@ _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro import baselines, core, datasets  # noqa: E402
+from repro import core, datasets  # noqa: E402
 from repro.dataplane import replay_dataset  # noqa: E402
+from repro.pipeline import (  # noqa: E402
+    Experiment,
+    ExperimentError,
+    ExperimentSpec,
+    Prepared,
+    get_system,
+)
 from repro.switch.targets import TOFINO1  # noqa: E402
 
 #: Number of flows generated per dataset for benchmark-scale training.
 BENCH_FLOWS = 500
 
-#: Replay engine used by the replay-driven benchmarks (fig10, table5,
-#: replay-throughput).  Both engines produce identical results; the
-#: vectorized default keeps the benchmark suite fast.  Override with
-#: ``SPLIDT_REPLAY_ENGINE=reference`` to run the per-packet oracle.
-REPLAY_ENGINE = os.environ.get("SPLIDT_REPLAY_ENGINE", "vectorized")
+#: Seed shared by the benchmark datasets and SpliDT training runs.
+BENCH_SEED = 7
+
+#: .. deprecated:: Read the engine from ``ExperimentSpec.resolved_engine()``
+#:    (or pass ``ExperimentSpec(replay_engine=...)``) instead.  The constant
+#:    is kept so existing benchmark code and notebooks keep working; it is
+#:    resolved through the spec layer, so ``SPLIDT_REPLAY_ENGINE=reference``
+#:    behaves exactly as before.
+REPLAY_ENGINE = ExperimentSpec().resolved_engine()
 
 
 def run_replay(program, dataset, **kwargs):
-    """Replay ``dataset`` through ``program`` with the configured engine."""
-    kwargs.setdefault("engine", REPLAY_ENGINE)
+    """Replay ``dataset`` through ``program`` with the configured engine.
+
+    The engine default routes through :meth:`ExperimentSpec.resolved_engine`,
+    which honours the historical ``SPLIDT_REPLAY_ENGINE`` environment knob.
+    """
+    kwargs.setdefault("engine", ExperimentSpec().resolved_engine())
     return replay_dataset(program, dataset, **kwargs)
 
 #: Flow-count targets reported in the paper.
@@ -61,15 +82,77 @@ SPLIDT_CANDIDATES = (
 _STORES: dict[tuple[str, int, int], datasets.DatasetStore] = {}
 _SPLIDT_CACHE: dict = {}
 _BASELINE_CACHE: dict = {}
+_EXPERIMENT_CACHE: dict = {}
+_MODEL_STAGE_CACHE: dict = {}
+
+#: Spec fields :func:`splidt_experiment` must not override: the prepared
+#: data comes from this module's shared store, which is built with the
+#: defaults for these fields — a silent mismatch would mis-label the run.
+_PINNED_SPEC_FIELDS = frozenset({"dataset", "n_flows", "seed", "system", "test_size"})
 
 
-def get_store(key: str, n_flows: int = BENCH_FLOWS, seed: int = 7) -> datasets.DatasetStore:
+def get_store(key: str, n_flows: int = BENCH_FLOWS, seed: int = BENCH_SEED) -> datasets.DatasetStore:
     """Dataset store for ``key`` (cached across benchmark modules)."""
     cache_key = (key, n_flows, seed)
     if cache_key not in _STORES:
         dataset = datasets.load_dataset(key, n_flows=n_flows, seed=seed)
         _STORES[cache_key] = datasets.DatasetStore(dataset, random_state=seed)
     return _STORES[cache_key]
+
+
+def splidt_experiment(
+    key: str,
+    depth: int,
+    k: int,
+    partitions: int,
+    *,
+    n_flows: int = BENCH_FLOWS,
+    seed: int = BENCH_SEED,
+    **spec_overrides,
+) -> Experiment:
+    """A pipeline :class:`Experiment` for one SpliDT configuration (cached).
+
+    The experiment's ``prepare`` stage is seeded from this module's shared
+    dataset-store cache, and the ``train``/``compile`` stages are shared
+    across experiments that differ only in replay settings (flow slots,
+    replayed flow count, engine) — so benchmarks composing pipeline stages
+    train each (dataset, configuration) pair exactly once.
+    """
+    forbidden = _PINNED_SPEC_FIELDS & set(spec_overrides)
+    if forbidden:
+        raise ValueError(
+            f"splidt_experiment cannot override {sorted(forbidden)}; the prepared "
+            "data comes from the shared benchmark store (pass key/n_flows/seed "
+            "as positional/keyword arguments instead)"
+        )
+    spec = ExperimentSpec(
+        dataset=key,
+        n_flows=n_flows,
+        seed=seed,
+        depth=depth,
+        features_per_subtree=k,
+        n_partitions=partitions,
+        **spec_overrides,
+    )
+    store = get_store(key, n_flows, seed)
+    cache_key = (spec, id(store))
+    if cache_key not in _EXPERIMENT_CACHE:
+        experiment = Experiment(spec)
+        windowed = store.fetch(spec.materialized_partitions())
+        if spec.bit_width != 32:
+            windowed = windowed.with_precision(spec.bit_width)
+        experiment.restore_stage(
+            "prepare", Prepared(dataset=store.dataset, store=store, windowed=windowed)
+        )
+        model_key = (id(store), spec.model_config())
+        if model_key in _MODEL_STAGE_CACHE:
+            trained, rules = _MODEL_STAGE_CACHE[model_key]
+            experiment.restore_stage("train", trained)
+            experiment.restore_stage("compile", rules)
+        else:
+            _MODEL_STAGE_CACHE[model_key] = (experiment.train(), experiment.compile())
+        _EXPERIMENT_CACHE[cache_key] = experiment
+    return _EXPERIMENT_CACHE[cache_key]
 
 
 def evaluate_splidt_config(
@@ -79,7 +162,7 @@ def evaluate_splidt_config(
     partitions: int,
     *,
     bit_width: int = 32,
-    seed: int = 7,
+    seed: int = BENCH_SEED,
 ) -> core.CandidateEvaluation:
     """Train/compile/cost one SpliDT configuration (cached)."""
     cache_key = (id(store), depth, k, partitions, bit_width)
@@ -112,24 +195,27 @@ def best_splidt_at_flows(
 
 
 def baseline_at_flows(store: datasets.DatasetStore, system: str, n_flows: int):
-    """Best NetBeacon / Leo / per-packet model at ``n_flows`` (cached)."""
+    """Best NetBeacon / Leo / per-packet model at ``n_flows`` (cached).
+
+    The search runs through the pipeline's system registry — the same
+    adapters ``python -m repro run --system netbeacon`` uses — so benchmark
+    and CLI baselines cannot drift apart.  Returns ``None`` when no
+    configuration is feasible.
+    """
     cache_key = (id(store), system, n_flows)
     if cache_key not in _BASELINE_CACHE:
         windowed = store.fetch(3)
-        if system == "netbeacon":
-            result = baselines.search_netbeacon(
-                windowed, target=TOFINO1, n_flows=n_flows,
-                k_range=(1, 2, 4, 6), depth_range=(4, 8, 12),
-            )
-        elif system == "leo":
-            result = baselines.search_leo(
-                windowed, target=TOFINO1, n_flows=n_flows,
-                k_range=(1, 2, 4, 6), depth_range=(3, 6, 11),
-            )
-        elif system == "per_packet":
-            result = baselines.search_per_packet(windowed, target=TOFINO1, depth_range=(6, 10))
-        else:
-            raise ValueError(f"unknown system {system!r}")
+        adapter = get_system(system)
+        spec = ExperimentSpec(
+            dataset=store.dataset.name if store.dataset.name in datasets.DATASET_KEYS else "D3",
+            system=system,
+            target_flows=n_flows,
+            seed=0,
+        )
+        try:
+            result = adapter.train(spec, windowed)
+        except ExperimentError:
+            result = None
         _BASELINE_CACHE[cache_key] = result
     return _BASELINE_CACHE[cache_key]
 

@@ -12,13 +12,13 @@ import numpy as np
 
 from bench_common import (
     baseline_at_flows,
-    evaluate_splidt_config,
     get_store,
     run_replay,
+    splidt_experiment,
     write_result,
 )
 from repro.analysis import render_table, summarize_ttd
-from repro.dataplane import SpliDTDataPlane, TopKDataPlane
+from repro.dataplane import TopKDataPlane
 
 REPLAY_FLOWS = 120
 
@@ -58,14 +58,16 @@ def _scaled_dataset(store, time_scale: float):
 
 def _run() -> str:
     store = get_store("D3")
-    splidt_candidate = evaluate_splidt_config(store, depth=9, k=4, partitions=3)
+    # Train/compile through the pipeline stages; each scaled replay below
+    # gets its own freshly built program from the system adapter.
+    experiment = splidt_experiment("D3", depth=9, k=4, partitions=3, flow_slots=8192)
     netbeacon = baseline_at_flows(store, "netbeacon", 100_000)
     rows = []
     for environment, time_scale in (("WS", 3.0), ("HD", 1.0)):
         subset = _scaled_dataset(store, time_scale)
 
-        splidt_program = SpliDTDataPlane(
-            splidt_candidate.model, splidt_candidate.rules, flow_slots=8192
+        splidt_program = experiment.system.build_program(
+            experiment.train(), experiment.compile(), experiment.spec
         )
         splidt_result = run_replay(splidt_program, subset)
         netbeacon_program = TopKDataPlane(netbeacon.model, flow_slots=8192)

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import time
 
-from bench_common import evaluate_splidt_config, get_store, write_result
+from bench_common import get_store, splidt_experiment, write_result
 from repro.analysis import render_table
-from repro.dataplane import SpliDTDataPlane, replay_dataset
+from repro.dataplane import replay_dataset
 
 #: Flows replayed per engine (the full benchmark store).
 REPLAY_FLOWS = 500
@@ -23,8 +23,10 @@ REPLAY_FLOWS = 500
 MIN_SPEEDUP = 5.0
 
 
-def _time_engine(candidate, dataset, engine: str) -> tuple[float, dict]:
-    program = SpliDTDataPlane(candidate.model, candidate.rules, flow_slots=65536)
+def _time_engine(experiment, dataset, engine: str) -> tuple[float, dict]:
+    program = experiment.system.build_program(
+        experiment.train(), experiment.compile(), experiment.spec
+    )
     started = time.perf_counter()
     result = replay_dataset(program, dataset, engine=engine)
     elapsed = time.perf_counter() - started
@@ -33,7 +35,7 @@ def _time_engine(candidate, dataset, engine: str) -> tuple[float, dict]:
 
 def _run() -> tuple[str, float]:
     store = get_store("D3")
-    candidate = evaluate_splidt_config(store, depth=9, k=4, partitions=3)
+    experiment = splidt_experiment("D3", depth=9, k=4, partitions=3, flow_slots=65536)
     dataset = store.dataset
     n_packets = sum(flow.n_packets for flow in dataset.flows[:REPLAY_FLOWS])
 
@@ -41,7 +43,7 @@ def _run() -> tuple[str, float]:
     rates = {}
     results = {}
     for engine in ("reference", "vectorized"):
-        elapsed, result = _time_engine(candidate, dataset, engine)
+        elapsed, result = _time_engine(experiment, dataset, engine)
         rates[engine] = n_packets / elapsed
         results[engine] = result
         rows.append(

@@ -11,13 +11,11 @@ from __future__ import annotations
 from bench_common import (
     FLOW_TARGETS,
     best_splidt_at_flows,
-    evaluate_splidt_config,
     get_store,
-    run_replay,
+    splidt_experiment,
     write_result,
 )
 from repro.analysis import format_recirculation_table
-from repro.dataplane import SpliDTDataPlane
 from repro.datasets import RECIRCULATION_CAPACITY_BPS, WORKLOADS, estimate_recirculation
 from repro.datasets.profiles import DATASET_KEYS
 
@@ -29,16 +27,17 @@ def _replayed_footer() -> str:
     measured recirculations per decided flow — the quantity the analytic
     estimate assumes equals ``n_partitions - 1`` per flow at most.
     """
-    store = get_store("D3")
-    candidate = evaluate_splidt_config(store, depth=9, k=4, partitions=3)
-    program = SpliDTDataPlane(candidate.model, candidate.rules, flow_slots=8192)
-    result = run_replay(program, store.dataset, max_flows=200)
+    experiment = splidt_experiment(
+        "D3", depth=9, k=4, partitions=3, flow_slots=8192, replay_flows=200
+    )
+    result = experiment.replay()
     per_flow = result.recirculations_per_flow()
     mean_recirc = float(per_flow.mean()) if per_flow.size else 0.0
-    assert mean_recirc <= candidate.config.n_partitions - 1
+    n_partitions = experiment.train().config.n_partitions
+    assert mean_recirc <= n_partitions - 1
     return (
         f"replayed D3 check: {mean_recirc:.2f} recirculations/flow over "
-        f"{per_flow.size} decided flows (bound: {candidate.config.n_partitions - 1})"
+        f"{per_flow.size} decided flows (bound: {n_partitions - 1})"
     )
 
 

@@ -1,6 +1,6 @@
 """Design-space exploration: build a Pareto frontier with Bayesian optimisation.
 
-Run with::
+Run with (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
 
     python examples/design_space_exploration.py
 
@@ -8,18 +8,16 @@ The script reproduces the paper's Figure 5 workflow at laptop scale: a
 multi-objective Bayesian optimiser proposes partitioned-tree configurations
 (depth, features per subtree, partition count); each is trained, compiled and
 costed against Tofino1; and the search returns the Pareto frontier of
-(F1 score, supported flows) plus the per-iteration timing breakdown.
+(F1 score, supported flows) plus the per-iteration timing breakdown.  The
+winning configuration is then handed to the ``Experiment`` pipeline for a
+packet-level replay of the deployed model.
 """
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
-
 from repro import core, datasets
 from repro.analysis import render_table
+from repro.pipeline import Experiment, ExperimentSpec
 from repro.switch.targets import TOFINO1
 
 
@@ -69,6 +67,26 @@ def main() -> None:
           f"rule generation {timings.rulegen:.2f}s)")
     trace = result.convergence_trace()
     print("Cumulative best F1 trace:", "  ".join(f"{value:.2f}" for value in trace))
+
+    best = result.best_at_flows(100_000)
+    if best is None:
+        return
+    spec = ExperimentSpec(
+        dataset="D2",
+        n_flows=600,
+        seed=3,
+        depth=best.config.depth,
+        features_per_subtree=best.config.features_per_subtree,
+        partition_sizes=best.config.partition_sizes,
+        bit_width=best.config.bit_width,
+        replay_flows=150,
+    )
+    print(f"\nReplaying the best 100K-flow configuration (D={spec.depth}, "
+          f"k={spec.features_per_subtree}, P={len(spec.partition_sizes)}) "
+          "through the data plane ...")
+    replayed = Experiment(spec).run()
+    print(f"  data-plane F1            : {replayed.replay_report.f1_score:.3f}")
+    print(f"  median time-to-detection : {replayed.ttd['median'] * 1e3:.1f} ms")
 
 
 if __name__ == "__main__":

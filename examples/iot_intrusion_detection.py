@@ -1,6 +1,6 @@
 """IoT intrusion detection: SpliDT versus NetBeacon / Leo / per-packet models.
 
-Run with::
+Run with (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
 
     python examples/iot_intrusion_detection.py
 
@@ -9,62 +9,95 @@ detection, dataset D6): a switch must classify hundreds of thousands of
 concurrent flows, so the baselines are forced to shrink their global top-k
 feature set as the flow target grows, while SpliDT keeps its per-subtree
 budget and spreads many features across partitions.
+
+Every system is invoked through the same :class:`~repro.pipeline.Experiment`
+interface — SpliDT and the baselines differ only in the spec's ``system``
+field.  All experiments share one prepared dataset store (seeded into each
+instance's ``prepare`` stage), and the per-candidate stage caches mean each
+configuration is trained exactly once across all three flow targets.
 """
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
-
-from repro import baselines, core, datasets
+from repro import datasets
 from repro.analysis import render_table
-from repro.switch.targets import TOFINO1
+from repro.core import check_feasibility
+from repro.pipeline import Experiment, ExperimentError, ExperimentSpec, Prepared
 
 FLOW_TARGETS = (100_000, 500_000, 1_000_000)
 
 SPLIDT_CANDIDATES = ((12, 4, 3), (9, 3, 3), (6, 2, 3), (4, 2, 2), (3, 1, 1))
 
+BASE = ExperimentSpec(dataset="D6", n_flows=700, seed=1, n_partitions=3)
 
-def best_splidt(store: datasets.DatasetStore, n_flows: int) -> core.CandidateEvaluation | None:
-    """Pick the best candidate configuration feasible at ``n_flows``."""
+_STORE: datasets.DatasetStore | None = None
+
+
+def make_experiment(spec: ExperimentSpec) -> Experiment:
+    """An experiment whose ``prepare`` stage reuses the shared D6 store."""
+    global _STORE
+    if _STORE is None:
+        dataset = datasets.load_dataset(spec.dataset, n_flows=spec.n_flows, seed=spec.seed)
+        _STORE = datasets.DatasetStore(
+            dataset, test_size=spec.test_size, random_state=spec.seed
+        )
+    experiment = Experiment(spec)
+    experiment.restore_stage(
+        "prepare",
+        Prepared(
+            dataset=_STORE.dataset,
+            store=_STORE,
+            windowed=_STORE.fetch(spec.materialized_partitions()),
+        ),
+    )
+    return experiment
+
+
+def best_splidt(experiments: list[Experiment], n_flows: int):
+    """Best candidate experiment feasible at ``n_flows`` (stages cached)."""
     best = None
-    for depth, k, partitions in SPLIDT_CANDIDATES:
-        config = core.SpliDTConfig.uniform(depth, partitions, k)
-        candidate = core.evaluate_configuration(store, config, target=TOFINO1)
-        if not candidate.supports(n_flows):
+    for experiment in experiments:
+        verdict = check_feasibility(experiment.deploy().resources, n_flows=n_flows)
+        if not verdict.feasible:
             continue
-        if best is None or candidate.f1_score > best.f1_score:
-            best = candidate
+        report = experiment.system.offline_report(
+            experiment.train(), experiment.prepare().windowed, experiment.spec
+        )
+        if best is None or report.f1_score > best[1].f1_score:
+            best = (experiment, report)
     return best
+
+
+def baseline_f1(system: str, n_flows: int) -> str:
+    """Offline F1 of the best feasible baseline model at ``n_flows``."""
+    spec = BASE.replace(system=system, target_flows=n_flows)
+    experiment = make_experiment(spec)
+    try:
+        candidate = experiment.train()
+    except ExperimentError:
+        return "infeasible"
+    return f"{candidate.report.f1_score:.3f}"
 
 
 def main() -> None:
     print("Generating the D6 (CIC-IDS-2017-like) intrusion-detection dataset ...")
-    dataset = datasets.load_dataset("D6", n_flows=700, seed=1)
-    store = datasets.DatasetStore(dataset, random_state=1)
-    windowed = store.fetch(3)
-
-    per_packet = baselines.search_per_packet(windowed, target=TOFINO1, depth_range=(6, 10))
+    splidt_experiments = [
+        make_experiment(BASE.replace(depth=depth, features_per_subtree=k, n_partitions=parts))
+        for depth, k, parts in SPLIDT_CANDIDATES
+    ]
+    per_packet = baseline_f1("per_packet", FLOW_TARGETS[0])
 
     rows = []
     for n_flows in FLOW_TARGETS:
-        netbeacon = baselines.search_netbeacon(
-            windowed, target=TOFINO1, n_flows=n_flows, k_range=(1, 2, 4, 6), depth_range=(4, 8, 12)
-        )
-        leo = baselines.search_leo(
-            windowed, target=TOFINO1, n_flows=n_flows, k_range=(1, 2, 4, 6), depth_range=(3, 6, 11)
-        )
-        splidt = best_splidt(store, n_flows)
+        splidt = best_splidt(splidt_experiments, n_flows)
         rows.append(
             [
                 f"{n_flows:,}",
-                f"{netbeacon.report.f1_score:.3f}" if netbeacon else "infeasible",
-                f"{leo.report.f1_score:.3f}" if leo else "infeasible",
-                f"{splidt.f1_score:.3f}" if splidt else "infeasible",
-                str(len(splidt.model.features_used())) if splidt else "-",
-                f"{per_packet.report.f1_score:.3f}" if per_packet else "-",
+                baseline_f1("netbeacon", n_flows),
+                baseline_f1("leo", n_flows),
+                f"{splidt[1].f1_score:.3f}" if splidt else "infeasible",
+                str(len(splidt[0].train().features_used())) if splidt else "-",
+                per_packet,
             ]
         )
 

@@ -1,62 +1,47 @@
-"""Quickstart: train a partitioned decision tree and cost it for a Tofino1.
+"""Quickstart: one declarative spec from dataset to hardware costing.
 
-Run with::
+Run with (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
 
     python examples/quickstart.py
 
-The script walks the core SpliDT workflow end to end:
+or equivalently through the CLI::
 
-1. generate a synthetic VPN-detection dataset (the D3 equivalent),
-2. materialise per-window feature matrices,
-3. train a partitioned decision tree (depth 9, k = 4, three partitions),
-4. compile it to range-marking TCAM rules, and
-5. estimate its hardware footprint and supported flow count on a Tofino1.
+    python -m repro run --scenario quickstart
+
+The script drives the core SpliDT workflow through the ``Experiment``
+pipeline: one :class:`~repro.pipeline.ExperimentSpec` describes the dataset
+(the synthetic D3 / ISCX-VPN equivalent), the model (depth 9, k = 4, three
+partitions) and the Tofino1 target; the staged facade trains, compiles,
+costs and replays it, and every intermediate artefact stays inspectable.
 """
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
-
-import numpy as np
-
-from repro import core, datasets
-from repro.switch.targets import TOFINO1
+from repro.pipeline import Experiment, get_scenario
 
 
 def main() -> None:
-    print("Generating the D3 (ISCX-VPN-like) synthetic dataset ...")
-    dataset = datasets.load_dataset("D3", n_flows=800, seed=42)
-    store = datasets.DatasetStore(dataset, random_state=42)
+    spec = get_scenario("quickstart")
+    print(f"Running the quickstart scenario: {spec.system} on {spec.dataset} "
+          f"({spec.n_flows} flows, seed {spec.seed}) ...")
+    experiment = Experiment(spec)
 
-    config = core.SpliDTConfig(depth=9, features_per_subtree=4, partition_sizes=(3, 3, 3))
-    windowed = store.fetch(config.n_partitions)
-
-    print(f"Training a partitioned tree: depth={config.depth}, k={config.features_per_subtree}, "
-          f"partitions={config.partition_sizes} ...")
-    model = core.train_partitioned_tree(windowed, config, random_state=42)
-    report = core.evaluate_partitioned_tree(model, windowed)
-
+    model = experiment.train()
+    report = experiment.system.offline_report(model, experiment.prepare().windowed, spec)
     print(f"  subtrees trained       : {model.n_subtrees}")
     print(f"  distinct features used : {len(model.features_used())} "
-          f"(with only {config.features_per_subtree} feature registers per flow)")
+          f"(with only {spec.features_per_subtree} feature registers per flow)")
     print(f"  test F1 score          : {report.f1_score:.3f}")
     print(f"  test accuracy          : {report.accuracy:.3f}")
 
+    rules = experiment.compile()
     print("Compiling range-marking TCAM rules ...")
-    training_matrix = np.vstack(
-        [windowed.partition_matrix(p, "train") for p in range(config.n_partitions)]
-    )
-    rules = core.generate_rules(model, training_matrix)
     print(f"  TCAM entries           : {rules.n_entries} "
           f"({rules.n_feature_entries} feature + {rules.n_model_entries} model)")
 
     print("Estimating the hardware footprint on Tofino1 ...")
-    resources = core.estimate_splidt_resources(
-        model, rules, target=TOFINO1, workloads=datasets.WORKLOADS
-    )
+    deployment = experiment.deploy()
+    resources = deployment.resources
     print(f"  per-flow feature registers : {resources.layout.feature_bits} bits")
     print(f"  pipeline stages for logic  : {resources.stages_for_tables}")
     print(f"  supported concurrent flows : {resources.max_flows:,}")
@@ -64,8 +49,12 @@ def main() -> None:
         print(f"  recirculation ({environment:2s})        : {recirc.peak_mbps:.1f} Mbps peak "
               f"({recirc.fraction_of_capacity * 100:.4f}% of the 100 Gbps path)")
 
-    verdict = core.check_feasibility(resources, n_flows=500_000)
-    print(f"Feasible at 500K concurrent flows: {verdict.feasible}")
+    result = experiment.run()
+    print(f"Replayed {len(result.replay_result.verdicts)} flows through the "
+          f"simulated pipeline ({spec.resolved_engine()} engine):")
+    print(f"  data-plane F1          : {result.replay_report.f1_score:.3f}")
+    print(f"Feasible at {spec.target_flows:,} concurrent flows: "
+          f"{result.feasibility.feasible}")
 
 
 if __name__ == "__main__":

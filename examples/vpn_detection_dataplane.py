@@ -1,68 +1,54 @@
 """VPN detection on the simulated switch: packet-level partitioned inference.
 
-Run with::
+Run with (after ``pip install -e .``, or with ``PYTHONPATH=src``)::
 
     python examples/vpn_detection_dataplane.py
 
-This example goes one level deeper than the quickstart: after training and
-compiling a partitioned tree for the D3 (VPN detection) dataset, it installs
-the rules into the RMT switch model and replays the raw packet trace through
-the pipeline.  The switch collects features in its registers, runs the active
-subtree's rules at every window boundary, recirculates a control packet to
-move to the next partition, and emits a digest with the final verdict — so
-the reported accuracy, time-to-detection, and recirculation overhead come
-from packet-level execution rather than offline matrices.
+or equivalently through the CLI::
+
+    python -m repro run --scenario vpn-detection
+
+This example goes one level deeper than the quickstart: the ``Experiment``
+pipeline trains and compiles a partitioned tree for the D3 (VPN detection)
+dataset, installs the rules into the RMT switch model and replays the raw
+packet trace through the pipeline.  The switch collects features in its
+registers, runs the active subtree's rules at every window boundary,
+recirculates a control packet to move to the next partition, and emits a
+digest with the final verdict — so the reported accuracy, time-to-detection,
+and recirculation overhead come from packet-level execution rather than
+offline matrices.
 """
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
-
 import numpy as np
 
-from repro import core, dataplane, datasets
-from repro.analysis import summarize_ttd
-from repro.switch.targets import TOFINO1
+from repro.pipeline import Experiment, get_scenario
 
 
 def main() -> None:
+    spec = get_scenario("vpn-detection")
     print("Generating the D3 (ISCX-VPN-like) dataset and training SpliDT ...")
-    dataset = datasets.load_dataset("D3", n_flows=600, seed=8)
-    store = datasets.DatasetStore(dataset, random_state=8)
-    config = core.SpliDTConfig(depth=9, features_per_subtree=4, partition_sizes=(3, 3, 3))
-    windowed = store.fetch(config.n_partitions)
-    model = core.train_partitioned_tree(windowed, config, random_state=8)
+    experiment = Experiment(spec)
+    result = experiment.run()
 
-    offline = core.evaluate_partitioned_tree(model, windowed)
-    print(f"  offline (matrix) test F1  : {offline.f1_score:.3f}")
-
-    training_matrix = np.vstack(
-        [windowed.partition_matrix(p, "train") for p in range(config.n_partitions)]
-    )
-    rules = core.generate_rules(model, training_matrix)
+    print(f"  offline (matrix) test F1  : {result.offline_report.f1_score:.3f}")
 
     print("Installing rules into the simulated Tofino pipeline and replaying packets ...")
-    program = dataplane.SpliDTDataPlane(model, rules, target=TOFINO1, flow_slots=16384)
-    replay_flows = dataset.subset(np.arange(200))
-    result = dataplane.replay_dataset(program, replay_flows)
+    replay = result.replay_result
+    print(f"  flows replayed            : {len(replay.verdicts)}")
+    print(f"  data-plane F1             : {replay.report.f1_score:.3f}")
 
-    print(f"  flows replayed            : {len(result.verdicts)}")
-    print(f"  data-plane F1             : {result.report.f1_score:.3f}")
-
-    ttd = summarize_ttd(result.time_to_detection())
-    print(f"  median time-to-detection  : {ttd['median'] * 1e3:.1f} ms")
-    print(f"  p99 time-to-detection     : {ttd['p99'] * 1e3:.1f} ms")
+    print(f"  median time-to-detection  : {result.ttd['median'] * 1e3:.1f} ms")
+    print(f"  p99 time-to-detection     : {result.ttd['p99'] * 1e3:.1f} ms")
 
     recirc = result.recirculation
     print(f"  recirculated packets      : {int(recirc['packets'])} "
-          f"({np.mean(result.recirculations_per_flow()):.2f} per flow)")
+          f"({np.mean(replay.recirculations_per_flow()):.2f} per flow)")
     print(f"  recirculation bandwidth   : {recirc['mean_bps'] / 1e6:.3f} Mbps "
           f"({recirc['utilisation'] * 100:.5f}% of the path)")
 
-    report = program.pipeline.resource_report()
+    report = experiment.deploy().program.pipeline.resource_report()
     print(f"  pipeline fits Tofino1     : {report.fits} "
           f"(stages used: {report.stages_used}/{report.stages_available})")
 

@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="splidt-repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of SpliDT: partitioned decision trees for scalable "
         "stateful inference at line rate (SIGCOMM 2025)"
@@ -20,8 +20,9 @@ setup(
         "Synthetic-data reproduction of the SpliDT paper: partitioned "
         "decision-tree training, range-marking TCAM rule generation, an RMT "
         "switch model, packet-level replay with reference and vectorized "
-        "engines, baselines, and benchmark regenerators for the paper's "
-        "figures and tables."
+        "engines, baselines, benchmark regenerators for the paper's "
+        "figures and tables, and a declarative experiment pipeline "
+        "(`python -m repro`) that drives the whole loop from one spec."
     ),
     long_description_content_type="text/plain",
     author="SpliDT reproduction authors",
@@ -30,6 +31,9 @@ setup(
     packages=find_packages(where="src"),
     package_dir={"": "src"},
     install_requires=["numpy>=1.24"],
+    entry_points={
+        "console_scripts": ["splidt-repro = repro.pipeline.cli:main"],
+    },
     extras_require={
         "test": ["pytest>=8", "pytest-benchmark>=5", "hypothesis>=6"],
     },

@@ -5,18 +5,19 @@ The package is organised as a set of substrates (``ml``, ``bayesopt``,
 contribution (``core`` — partitioned training, range-marking rule generation,
 resource modelling, and design-space exploration), plus the data-plane
 simulation (``dataplane``), the baselines the paper compares against
-(``baselines``), and reporting helpers (``analysis``).
+(``baselines``), reporting helpers (``analysis``), and the declarative
+experiment layer (``pipeline``) that chains all of it behind one spec.
 
 Quickstart::
 
-    from repro import datasets, core
+    from repro.pipeline import Experiment, ExperimentSpec
 
-    dataset = datasets.load_dataset("D3", n_flows=2000, seed=7)
-    config = core.SpliDTConfig(depth=6, features_per_subtree=4,
-                               partition_sizes=(2, 2, 2))
-    model = core.train_partitioned_tree(dataset, config)
-    report = core.evaluate_partitioned_tree(model, dataset)
-    print(report.f1_score)
+    spec = ExperimentSpec(dataset="D3", n_flows=800, seed=42,
+                          depth=9, features_per_subtree=4, n_partitions=3)
+    result = Experiment(spec).run()
+    print(result.offline_report.f1_score, result.replay_report.f1_score)
+
+or from a shell: ``python -m repro run --dataset D3 --n-flows 400``.
 """
 
 from repro import (
@@ -28,10 +29,11 @@ from repro import (
     datasets,
     features,
     ml,
+    pipeline,
     switch,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -42,6 +44,7 @@ __all__ = [
     "datasets",
     "features",
     "ml",
+    "pipeline",
     "switch",
     "__version__",
 ]

@@ -1,0 +1,8 @@
+"""``python -m repro`` — delegate to the pipeline CLI."""
+
+import sys
+
+from repro.pipeline.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

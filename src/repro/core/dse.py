@@ -22,7 +22,7 @@ from repro.core.config import SpliDTConfig
 from repro.core.evaluation import ClassificationReport, evaluate_partitioned_tree
 from repro.core.pareto import pareto_front_indices
 from repro.core.partitioned_tree import PartitionedDecisionTree, train_partitioned_tree
-from repro.core.range_marking import RuleSet, generate_rules
+from repro.core.range_marking import RuleSet, generate_rules, stacked_training_matrix
 from repro.core.resources import (
     ResourceEstimate,
     check_feasibility,
@@ -101,9 +101,7 @@ def evaluate_configuration(
     timings.training = time.perf_counter() - start
 
     start = time.perf_counter()
-    training_matrix = np.vstack(
-        [windowed.partition_matrix(p, "train") for p in range(config.n_partitions)]
-    )
+    training_matrix = stacked_training_matrix(windowed, config.n_partitions)
     rules = generate_rules(model, training_matrix, bit_width=config.bit_width)
     timings.rulegen = time.perf_counter() - start
 

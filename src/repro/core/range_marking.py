@@ -414,6 +414,27 @@ def generate_subtree_rules(
     return SubtreeRuleSet(sid=subtree.sid, mark_tables=mark_tables, model_rules=model_rules)
 
 
+def stacked_training_matrix(windowed, n_partitions: int | None = None, split: str = "train") -> np.ndarray:
+    """Row-stack the per-partition feature matrices of a windowed dataset.
+
+    This is the matrix the quantiser scales are fitted on when compiling a
+    partitioned model: every window of every training flow contributes one
+    row, so the observed per-feature maxima cover all partitions.
+
+    Args:
+        windowed: A :class:`~repro.datasets.materialize.WindowedDataset`.
+        n_partitions: How many leading partitions to stack; defaults to all
+            of the dataset's windows.
+        split: Which split to draw rows from.
+    """
+    count = windowed.n_partitions if n_partitions is None else n_partitions
+    if count < 1 or count > windowed.n_partitions:
+        raise ValueError(
+            f"n_partitions must be in [1, {windowed.n_partitions}], got {count}"
+        )
+    return np.vstack([windowed.partition_matrix(p, split) for p in range(count)])
+
+
 def generate_rules(
     model: PartitionedDecisionTree,
     training_matrix: np.ndarray,

@@ -1,0 +1,256 @@
+"""``python -m repro`` — the command-line front door of the pipeline.
+
+Subcommands:
+
+* ``run`` — execute one experiment end to end (train, compile, deploy,
+  replay, report); optionally save the run directory with ``--out``.
+* ``replay`` — reload a saved run directory and replay it (no retraining).
+* ``list-datasets`` — the D1–D7 catalogue, plus registered systems/scenarios.
+* ``compare`` — run several systems on one dataset and print a comparison
+  table (the shape of the paper's headline tables).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reporting import render_table
+from repro.datasets.profiles import DATASET_KEYS
+from repro.datasets.registry import dataset_summary
+from repro.pipeline.artifacts import load_run, save_run
+from repro.pipeline.experiment import Experiment, ExperimentResult
+from repro.pipeline.spec import ExperimentSpec, SpecError
+from repro.pipeline.systems import (
+    ExperimentError,
+    available_scenarios,
+    available_systems,
+    get_scenario,
+)
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Spec-shaped flags shared by ``run`` and ``compare``."""
+    parser.add_argument("--scenario", choices=available_scenarios(),
+                        help="start from a named spec preset")
+    parser.add_argument("--dataset", choices=DATASET_KEYS, help="dataset key")
+    parser.add_argument("--n-flows", type=int, dest="n_flows",
+                        help="flows to generate for training")
+    parser.add_argument("--seed", type=int, help="dataset/training seed")
+    parser.add_argument("--depth", type=int,
+                        help="total tree depth D (splidt/topk/pforest; the "
+                             "search baselines pick their own)")
+    parser.add_argument("--k", type=int, dest="features_per_subtree",
+                        help="features per subtree (splidt) / top-k "
+                             "(topk/pforest; the search baselines pick their own)")
+    parser.add_argument("--partitions", type=int, dest="n_partitions",
+                        help="number of partitions")
+    parser.add_argument("--bit-width", type=int, dest="bit_width",
+                        choices=(8, 16, 32), help="feature precision in bits")
+    parser.add_argument("--target", help="hardware target (tofino1, tofino2, ...)")
+    parser.add_argument("--target-flows", type=int, dest="target_flows",
+                        help="concurrent-flow target for feasibility/baseline search")
+    parser.add_argument("--engine", dest="replay_engine",
+                        choices=("reference", "vectorized"),
+                        help="replay engine (default: SPLIDT_REPLAY_ENGINE or vectorized)")
+    parser.add_argument("--replay-flows", type=int, dest="replay_flows",
+                        help="replay only the first N flows (0 = all)")
+    parser.add_argument("--flow-slots", type=int, dest="flow_slots",
+                        help="register slots of the simulated program")
+
+
+def _spec_from_args(args: argparse.Namespace, *, system: str | None = None) -> ExperimentSpec:
+    """Build a validated spec from CLI flags (scenario preset first)."""
+    spec = get_scenario(args.scenario) if args.scenario else ExperimentSpec()
+    overrides = {}
+    for name in ("dataset", "n_flows", "seed", "depth", "features_per_subtree",
+                 "n_partitions", "bit_width", "target", "target_flows",
+                 "replay_engine", "replay_flows", "flow_slots"):
+        value = getattr(args, name, None)
+        if value is not None:
+            overrides[name] = value
+    if overrides.get("replay_flows") == 0:
+        overrides["replay_flows"] = None
+    if system is not None:
+        overrides["system"] = system
+    # Flag-level depth/partition overrides invalidate a preset's explicit sizes.
+    if {"depth", "n_partitions"} & set(overrides):
+        overrides.setdefault("partition_sizes", None)
+    return spec.replace(**overrides).validate()
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Human-readable report of one experiment."""
+    spec = result.spec
+    lines = [
+        f"experiment        : {spec.system} on {spec.dataset} "
+        f"({spec.n_flows} flows, seed {spec.seed}, target {spec.target})",
+        f"offline test F1   : {result.offline_report.f1_score:.3f} "
+        f"(accuracy {result.offline_report.accuracy:.3f})",
+    ]
+    if result.model_summary.get("n_subtrees"):
+        lines.append(f"subtrees trained  : {result.model_summary['n_subtrees']}")
+    if result.model_summary.get("n_features_used") is not None:
+        lines.append(f"features used     : {result.model_summary['n_features_used']}")
+    if result.resources is not None:
+        lines.append(f"TCAM entries      : {result.resources.tcam_entries}")
+        lines.append(f"max concurrent    : {result.resources.max_flows:,} flows")
+    if result.feasibility is not None:
+        lines.append(
+            f"feasible @ {spec.target_flows:,}: {result.feasibility.feasible}"
+        )
+    if result.replay_result is not None:
+        replay = result.replay_result
+        lines.append(
+            f"replayed          : {len(replay.verdicts)} flows "
+            f"({spec.resolved_engine()} engine)"
+        )
+        lines.append(f"data-plane F1     : {replay.report.f1_score:.3f}")
+        if result.ttd:
+            lines.append(
+                f"TTD median / p99  : {result.ttd['median'] * 1e3:.1f} ms / "
+                f"{result.ttd['p99'] * 1e3:.1f} ms"
+            )
+        if result.recirculation:
+            lines.append(
+                f"recirculation     : {int(result.recirculation.get('packets', 0))} packets "
+                f"({result.recirculation.get('utilisation', 0.0) * 100:.5f}% of the path)"
+            )
+    else:
+        lines.append("replayed          : no (system has no data-plane program)")
+    stage_times = "  ".join(
+        f"{name}={seconds:.2f}s" for name, seconds in result.timings.items()
+        if name != "report"
+    )
+    lines.append(f"stage timings     : {stage_times}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args, system=args.system)
+    experiment = Experiment(spec)
+    result = experiment.run()
+    print(format_result(result))
+    if args.out:
+        path = save_run(experiment, args.out)
+        print(f"artifacts saved   : {path}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    experiment = load_run(args.run_dir)
+    overrides = {}
+    if args.replay_engine is not None:
+        overrides["replay_engine"] = args.replay_engine
+    if args.replay_flows is not None:
+        overrides["replay_flows"] = args.replay_flows or None
+    if overrides:
+        restored_stages = experiment.restored_stages
+        restored = {"train": experiment.train()}
+        if "compile" in restored_stages:
+            restored["compile"] = experiment.compile()
+        experiment = Experiment(experiment.spec.replace(**overrides))
+        for name, value in restored.items():
+            experiment.restore_stage(name, value)
+        experiment.restored_stages = restored_stages
+    print(f"loaded run        : {args.run_dir} "
+          f"(restored stages: {', '.join(experiment.restored_stages)})")
+    result = experiment.run()
+    print(format_result(result))
+    return 0
+
+
+def _cmd_list_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for key in DATASET_KEYS:
+        summary = dataset_summary(key)
+        rows.append([summary["key"], summary["source"], str(summary["classes"]),
+                     summary["description"]])
+    print(render_table(["Key", "Source", "Classes", "Description"], rows))
+    print(f"\nsystems   : {', '.join(available_systems())}")
+    print(f"scenarios : {', '.join(available_scenarios())}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    systems = [name.strip() for name in args.systems.split(",") if name.strip()]
+    rows = []
+    for system in systems:
+        spec = _spec_from_args(args, system=system)
+        try:
+            result = Experiment(spec).run()
+        except ExperimentError as exc:
+            rows.append([system, "infeasible", "-", "-", "-", str(exc)])
+            continue
+        replayed = result.replay_result is not None
+        rows.append([
+            system,
+            f"{result.offline_report.f1_score:.3f}",
+            f"{result.replay_result.report.f1_score:.3f}" if replayed else "-",
+            f"{result.ttd['median'] * 1e3:.1f}" if result.ttd else "-",
+            f"{result.resources.max_flows:,}" if result.resources else "-",
+            "-" if result.feasibility is None
+            else ("yes" if result.feasibility.feasible else "no"),
+        ])
+    print(render_table(
+        ["System", "Offline F1", "Replay F1", "Median TTD (ms)", "Max flows",
+         f"Feasible @ {_spec_from_args(args).target_flows:,}"],
+        rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SpliDT experiment pipeline: dataset -> train -> compile -> "
+                    "deploy -> replay -> report",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment end to end")
+    _add_spec_arguments(run)
+    run.add_argument("--system", default="splidt", choices=available_systems(),
+                     help="system under test (default: splidt)")
+    run.add_argument("--out", help="save the run directory (artifacts) here")
+    run.set_defaults(func=_cmd_run)
+
+    replay = sub.add_parser("replay", help="replay a saved run without retraining")
+    replay.add_argument("run_dir", help="run directory produced by `run --out`")
+    replay.add_argument("--engine", dest="replay_engine",
+                        choices=("reference", "vectorized"),
+                        help="override the replay engine")
+    replay.add_argument("--replay-flows", type=int, dest="replay_flows",
+                        help="override the replayed flow count (0 = all)")
+    replay.set_defaults(func=_cmd_replay)
+
+    list_datasets = sub.add_parser("list-datasets",
+                                   help="list datasets, systems and scenarios")
+    list_datasets.set_defaults(func=_cmd_list_datasets)
+
+    compare = sub.add_parser("compare", help="run several systems and tabulate")
+    _add_spec_arguments(compare)
+    compare.add_argument("--systems", default="splidt,netbeacon",
+                         help="comma-separated system names (default: splidt,netbeacon)")
+    compare.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (SpecError, ExperimentError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

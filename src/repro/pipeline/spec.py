@@ -1,0 +1,213 @@
+"""Declarative experiment specification.
+
+An :class:`ExperimentSpec` captures *everything* one end-to-end run of the
+paper's pipeline depends on — dataset key/size/seed, the system under test
+(SpliDT or a baseline), its model hyper-parameters, the hardware target, and
+the replay settings — as one serialisable value.  The
+:class:`~repro.pipeline.experiment.Experiment` facade turns a spec into
+results; two runs with equal specs produce bit-identical models, rules and
+replay verdicts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, fields
+
+from repro.core.config import SpliDTConfig, TopKConfig
+from repro.dataplane.runtime import REPLAY_ENGINES
+from repro.datasets.profiles import DATASET_KEYS
+from repro.switch.targets import TARGETS, TargetSpec, get_target
+
+#: Environment variable that selects the default replay engine.
+REPLAY_ENGINE_ENV = "SPLIDT_REPLAY_ENGINE"
+
+
+class SpecError(ValueError):
+    """Raised when an :class:`ExperimentSpec` is invalid."""
+
+
+def default_replay_engine() -> str:
+    """The replay engine used when a spec does not pin one.
+
+    Reads ``SPLIDT_REPLAY_ENGINE`` (the knob the benchmark harness has always
+    honoured) and falls back to ``"vectorized"``.
+    """
+    return os.environ.get(REPLAY_ENGINE_ENV, "vectorized")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one dataset-to-dataplane experiment.
+
+    Attributes:
+        dataset: Dataset key (``"D1"`` … ``"D7"``).
+        n_flows: Flows generated for training/evaluation.
+        seed: Seed for dataset generation, the train/test split, and training.
+        system: Registry key of the system under test (``"splidt"`` or a
+            baseline such as ``"netbeacon"``; see
+            :func:`repro.pipeline.systems.available_systems`).
+        depth: Total tree depth ``D`` (SpliDT) or maximum depth
+            (``topk``/``pforest``).  The search baselines (``netbeacon``,
+            ``leo``, ``per_packet``) pick their own depth/k inside
+            ``train`` and ignore these two fields — use ``system="topk"``
+            to pin an exact (depth, k).
+        features_per_subtree: ``k`` — per-subtree feature budget (SpliDT)
+            or the global top-k (``topk``/``pforest``).
+        n_partitions: Number of partitions (ignored by one-shot baselines,
+            but still controls dataset materialisation).
+        partition_sizes: Explicit per-partition depths; overrides the uniform
+            split of ``depth`` across ``n_partitions`` when given.
+        bit_width: Feature register / match-key precision in bits.
+        target: Hardware target name (``"tofino1"`` …).
+        target_flows: Concurrent-flow target used for baseline model search
+            and feasibility checks.
+        replay_engine: ``"reference"`` or ``"vectorized"``; ``None`` defers
+            to ``SPLIDT_REPLAY_ENGINE`` (default ``"vectorized"``).
+        replay_flows: Replay only the first N flows (``None`` = all).
+        flow_slots: Register slots of the simulated data-plane program.
+        jitter_starts: Randomly shift flow start times during replay.
+        test_size: Held-out fraction of the train/test split.
+        n_trees: Ensemble size (pForest only).
+    """
+
+    dataset: str = "D3"
+    n_flows: int = 600
+    seed: int = 0
+    system: str = "splidt"
+    depth: int = 9
+    features_per_subtree: int = 4
+    n_partitions: int = 3
+    partition_sizes: tuple[int, ...] | None = None
+    bit_width: int = 32
+    target: str = "tofino1"
+    target_flows: int = 100_000
+    replay_engine: str | None = None
+    replay_flows: int | None = 200
+    flow_slots: int = 8192
+    jitter_starts: bool = False
+    test_size: float = 0.3
+    n_trees: int = 5
+
+    def __post_init__(self) -> None:
+        if self.partition_sizes is not None and not isinstance(self.partition_sizes, tuple):
+            object.__setattr__(self, "partition_sizes", tuple(self.partition_sizes))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> "ExperimentSpec":
+        """Check the spec; raises :class:`SpecError` with the first problem."""
+        from repro.pipeline.systems import available_systems
+
+        if self.dataset not in DATASET_KEYS:
+            raise SpecError(
+                f"unknown dataset {self.dataset!r}; expected one of {DATASET_KEYS}"
+            )
+        if self.system not in available_systems():
+            raise SpecError(
+                f"unknown system {self.system!r}; expected one of {available_systems()}"
+            )
+        if self.n_flows < 10:
+            raise SpecError(f"n_flows must be >= 10, got {self.n_flows}")
+        if self.target.lower() not in TARGETS:
+            raise SpecError(
+                f"unknown target {self.target!r}; expected one of {tuple(TARGETS)}"
+            )
+        if self.replay_engine is not None and self.replay_engine not in REPLAY_ENGINES:
+            raise SpecError(
+                f"unknown replay engine {self.replay_engine!r}; "
+                f"expected one of {REPLAY_ENGINES}"
+            )
+        if self.replay_flows is not None and self.replay_flows < 1:
+            raise SpecError(f"replay_flows must be >= 1, got {self.replay_flows}")
+        if self.flow_slots < 1:
+            raise SpecError(f"flow_slots must be >= 1, got {self.flow_slots}")
+        if not 0.0 < self.test_size < 1.0:
+            raise SpecError(f"test_size must be in (0, 1), got {self.test_size}")
+        if self.n_trees < 1:
+            raise SpecError(f"n_trees must be >= 1, got {self.n_trees}")
+        try:
+            if self.system == "splidt":
+                self.model_config()
+            else:
+                self.topk_config()
+        except ValueError as exc:  # re-raise config errors as spec errors
+            raise SpecError(str(exc)) from exc
+        return self
+
+    # ------------------------------------------------------------------
+    # Derived values
+    # ------------------------------------------------------------------
+    def resolved_engine(self) -> str:
+        """The replay engine this spec runs with (spec field wins over env)."""
+        engine = self.replay_engine if self.replay_engine is not None else default_replay_engine()
+        if engine not in REPLAY_ENGINES:
+            raise SpecError(
+                f"unknown replay engine {engine!r} (from {REPLAY_ENGINE_ENV}); "
+                f"expected one of {REPLAY_ENGINES}"
+            )
+        return engine
+
+    def target_spec(self) -> TargetSpec:
+        """The resolved hardware target."""
+        return get_target(self.target)
+
+    def model_config(self) -> SpliDTConfig:
+        """The SpliDT model configuration this spec describes."""
+        if self.partition_sizes is not None:
+            return SpliDTConfig(
+                depth=self.depth,
+                features_per_subtree=self.features_per_subtree,
+                partition_sizes=self.partition_sizes,
+                bit_width=self.bit_width,
+            )
+        return SpliDTConfig.uniform(
+            depth=self.depth,
+            n_partitions=self.n_partitions,
+            features_per_subtree=self.features_per_subtree,
+            bit_width=self.bit_width,
+        )
+
+    def topk_config(self) -> TopKConfig:
+        """The one-shot baseline configuration this spec describes."""
+        return TopKConfig(
+            depth=self.depth,
+            top_k=self.features_per_subtree,
+            bit_width=self.bit_width,
+            use_stateful=self.system != "per_packet",
+        )
+
+    def materialized_partitions(self) -> int:
+        """Windows to materialise (the SpliDT config's partition count)."""
+        if self.system == "splidt":
+            return self.model_config().n_partitions
+        return max(self.n_partitions, 1)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-compatible)."""
+        data = asdict(self)
+        if data["partition_sizes"] is not None:
+            data["partition_sizes"] = list(data["partition_sizes"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output; rejects unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown spec fields: {sorted(unknown)}")
+        payload = dict(data)
+        if payload.get("partition_sizes") is not None:
+            payload["partition_sizes"] = tuple(payload["partition_sizes"])
+        return cls(**payload)
+
+    def replace(self, **changes) -> "ExperimentSpec":
+        """A copy of the spec with ``changes`` applied."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data.update(changes)
+        return ExperimentSpec(**data)

@@ -1,0 +1,334 @@
+"""System and scenario registries for the experiment pipeline.
+
+A *system* adapts one classifier family (SpliDT or a baseline) to the uniform
+stage contract the :class:`~repro.pipeline.experiment.Experiment` facade
+drives: ``train`` fits a model on a windowed dataset, ``offline_report``
+scores it on held-out matrices, ``compile`` lowers it to range-marking TCAM
+rules, ``build_program`` instantiates a fresh data-plane program with the
+rules installed, and ``resources`` costs the deployment against the hardware
+target.  Registering a new system here makes it reachable from every entry
+point at once — the CLI, the examples, and the benchmark harness.
+
+A *scenario* is a named :class:`~repro.pipeline.spec.ExperimentSpec` preset
+(dataset + model + replay settings) so common experiments can be launched by
+name (``python -m repro run --scenario vpn-detection``).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.iisy import search_per_packet
+from repro.baselines.leo import search_leo
+from repro.baselines.netbeacon import search_netbeacon
+from repro.baselines.pforest import evaluate_pforest, train_pforest_model
+from repro.baselines.topk import train_topk_model
+from repro.core.evaluation import ClassificationReport, evaluate_partitioned_tree
+from repro.core.range_marking import RuleSet, generate_rules, stacked_training_matrix
+from repro.core.resources import (
+    FeasibilityResult,
+    ResourceEstimate,
+    check_feasibility,
+    estimate_splidt_resources,
+)
+from repro.core.partitioned_tree import train_partitioned_tree
+from repro.dataplane.splidt_program import SpliDTDataPlane
+from repro.dataplane.topk_program import TopKDataPlane
+from repro.datasets.materialize import WindowedDataset
+from repro.datasets.workloads import WORKLOADS
+from repro.pipeline.spec import ExperimentSpec, SpecError
+
+
+class ExperimentError(RuntimeError):
+    """Raised when a pipeline stage cannot produce its output."""
+
+
+class System:
+    """Uniform stage contract one classifier family implements.
+
+    Subclasses override the hooks below; ``supports_replay`` marks systems
+    with a data-plane program (others stop after the offline report).
+    """
+
+    name: str = ""
+    supports_replay: bool = True
+
+    def train(self, spec: ExperimentSpec, windowed: WindowedDataset):
+        """Fit the model described by ``spec`` on ``windowed``."""
+        raise NotImplementedError
+
+    def offline_report(
+        self, model, windowed: WindowedDataset, spec: ExperimentSpec
+    ) -> ClassificationReport:
+        """Held-out classification report of the trained model."""
+        raise NotImplementedError
+
+    def compile(self, model, windowed: WindowedDataset, spec: ExperimentSpec) -> RuleSet | None:
+        """Lower the model to TCAM rules (``None`` if the system has none)."""
+        return None
+
+    def build_program(self, model, rules: RuleSet | None, spec: ExperimentSpec):
+        """A *fresh* data-plane program with the rules installed, or ``None``."""
+        return None
+
+    def resources(
+        self, model, rules: RuleSet | None, spec: ExperimentSpec
+    ) -> ResourceEstimate | None:
+        """Hardware cost of the deployment (``None`` when not modelled)."""
+        return None
+
+    def feasibility(
+        self, model, resources: ResourceEstimate | None, spec: ExperimentSpec
+    ) -> FeasibilityResult | None:
+        """Feasibility at ``spec.target_flows`` (default: from resources)."""
+        if resources is None:
+            return None
+        return check_feasibility(resources, n_flows=spec.target_flows)
+
+
+class SpliDTSystem(System):
+    """The paper's partitioned decision tree, replayed on the switch model."""
+
+    name = "splidt"
+    supports_replay = True
+
+    def train(self, spec, windowed):
+        return train_partitioned_tree(windowed, spec.model_config(), random_state=spec.seed)
+
+    def offline_report(self, model, windowed, spec):
+        return evaluate_partitioned_tree(model, windowed)
+
+    def compile(self, model, windowed, spec):
+        matrix = stacked_training_matrix(windowed, model.config.n_partitions)
+        return generate_rules(model, matrix, bit_width=spec.bit_width)
+
+    def build_program(self, model, rules, spec):
+        return SpliDTDataPlane(
+            model, rules, target=spec.target_spec(), flow_slots=spec.flow_slots
+        )
+
+    def resources(self, model, rules, spec):
+        return estimate_splidt_resources(
+            model, rules, target=spec.target_spec(), workloads=WORKLOADS
+        )
+
+
+class _TopKSearchSystem(System):
+    """Shared shape of the one-shot top-k baselines (NetBeacon / Leo).
+
+    ``train`` runs the per-#flows model search the benchmarks use, so the
+    baseline gets the best configuration it can support at
+    ``spec.target_flows`` — mirroring the paper's methodology.  The search
+    ranges live on the class (``k_range`` / ``depth_range``); the spec's
+    ``depth``/``features_per_subtree`` are *not* consulted — pin an exact
+    configuration with ``system="topk"`` instead.
+    """
+
+    supports_replay = True
+    k_range: tuple[int, ...] = (1, 2, 4, 6)
+    depth_range: tuple[int, ...] = (4, 8, 12)
+
+    def _search(self, spec, windowed):
+        raise NotImplementedError
+
+    def train(self, spec, windowed):
+        candidate = self._search(spec, windowed)
+        if candidate is None:
+            raise ExperimentError(
+                f"{self.name}: no feasible configuration at "
+                f"{spec.target_flows:,} concurrent flows on {spec.target}"
+            )
+        return candidate
+
+    def offline_report(self, candidate, windowed, spec):
+        return candidate.report
+
+    def compile(self, candidate, windowed, spec):
+        return candidate.model.generate_rules(windowed.flow_matrix("train"))
+
+    def build_program(self, candidate, rules, spec):
+        return TopKDataPlane(candidate.model, flow_slots=spec.flow_slots)
+
+    def feasibility(self, candidate, resources, spec):
+        # The search already filtered on the target-flow constraint.
+        return FeasibilityResult(feasible=candidate.feasible, n_flows=spec.target_flows)
+
+
+class NetBeaconSystem(_TopKSearchSystem):
+    """NetBeacon: one-shot tree over a global top-k stateful feature set."""
+
+    name = "netbeacon"
+
+    def _search(self, spec, windowed):
+        return search_netbeacon(
+            windowed,
+            target=spec.target_spec(),
+            n_flows=spec.target_flows,
+            k_range=self.k_range,
+            depth_range=self.depth_range,
+            bit_width=spec.bit_width,
+            random_state=spec.seed,
+        )
+
+
+class LeoSystem(_TopKSearchSystem):
+    """Leo: one-shot tree with Leo's TCAM layout feasibility model."""
+
+    name = "leo"
+    depth_range = (3, 6, 11)
+
+    def _search(self, spec, windowed):
+        return search_leo(
+            windowed,
+            target=spec.target_spec(),
+            n_flows=spec.target_flows,
+            k_range=self.k_range,
+            depth_range=self.depth_range,
+            bit_width=spec.bit_width,
+            random_state=spec.seed,
+        )
+
+
+class PerPacketSystem(_TopKSearchSystem):
+    """IIsy/Planter-style stateless per-packet model (no flow registers)."""
+
+    name = "per_packet"
+    supports_replay = False
+    #: The depth range the benchmark harness and examples have always
+    #: searched for the stateless baseline.
+    depth_range = (6, 10)
+
+    def _search(self, spec, windowed):
+        return search_per_packet(
+            windowed,
+            target=spec.target_spec(),
+            depth_range=self.depth_range,
+            random_state=spec.seed,
+        )
+
+    def compile(self, candidate, windowed, spec):
+        return candidate.model.generate_rules(windowed.packet_matrix("train"))
+
+    def build_program(self, candidate, rules, spec):
+        return None
+
+
+class TopKSystem(System):
+    """A single top-k tree at the spec's exact (depth, k) — no search."""
+
+    name = "topk"
+    supports_replay = True
+
+    def train(self, spec, windowed):
+        return train_topk_model(windowed, spec.topk_config(), random_state=spec.seed)
+
+    def offline_report(self, model, windowed, spec):
+        from repro.core.evaluation import evaluate_classifier
+
+        return evaluate_classifier(
+            model, windowed.flow_matrix("test"), windowed.split_labels("test")
+        )
+
+    def compile(self, model, windowed, spec):
+        return model.generate_rules(windowed.flow_matrix("train"))
+
+    def build_program(self, model, rules, spec):
+        return TopKDataPlane(model, flow_slots=spec.flow_slots)
+
+
+class PForestSystem(System):
+    """pForest: an in-network random forest sharing one top-k register set."""
+
+    name = "pforest"
+    supports_replay = False
+
+    def train(self, spec, windowed):
+        return train_pforest_model(
+            windowed, spec.topk_config(), n_trees=spec.n_trees, random_state=spec.seed
+        )
+
+    def offline_report(self, model, windowed, spec):
+        return evaluate_pforest(model, windowed)
+
+    def compile(self, model, windowed, spec):
+        return model.generate_rules(windowed.flow_matrix("train"))
+
+
+#: Registered systems, keyed by name.
+SYSTEMS: dict[str, System] = {}
+
+
+def register_system(system: System) -> System:
+    """Add a system to the registry (later registrations override)."""
+    if not system.name:
+        raise ValueError("system must define a name")
+    SYSTEMS[system.name] = system
+    return system
+
+
+def get_system(name: str) -> System:
+    """Look up a registered system by name."""
+    try:
+        return SYSTEMS[name]
+    except KeyError as exc:
+        raise SpecError(
+            f"unknown system {name!r}; expected one of {available_systems()}"
+        ) from exc
+
+
+def available_systems() -> tuple[str, ...]:
+    """Names of all registered systems."""
+    return tuple(sorted(SYSTEMS))
+
+
+for _system in (
+    SpliDTSystem(),
+    NetBeaconSystem(),
+    LeoSystem(),
+    PerPacketSystem(),
+    TopKSystem(),
+    PForestSystem(),
+):
+    register_system(_system)
+
+
+#: Named experiment presets (scenarios), keyed by name.
+SCENARIOS: dict[str, ExperimentSpec] = {}
+
+
+def register_scenario(name: str, spec: ExperimentSpec) -> ExperimentSpec:
+    """Register a named spec preset."""
+    SCENARIOS[name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ExperimentSpec:
+    """Look up a scenario preset by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError as exc:
+        raise SpecError(
+            f"unknown scenario {name!r}; expected one of {available_scenarios()}"
+        ) from exc
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Names of all registered scenarios."""
+    return tuple(sorted(SCENARIOS))
+
+
+register_scenario(
+    "quickstart",
+    ExperimentSpec(dataset="D3", n_flows=800, seed=42, depth=9,
+                   features_per_subtree=4, partition_sizes=(3, 3, 3),
+                   target_flows=500_000),
+)
+register_scenario(
+    "vpn-detection",
+    ExperimentSpec(dataset="D3", n_flows=600, seed=8, depth=9,
+                   features_per_subtree=4, partition_sizes=(3, 3, 3),
+                   replay_flows=200, flow_slots=16384),
+)
+register_scenario(
+    "iot-intrusion",
+    ExperimentSpec(dataset="D6", n_flows=700, seed=1, depth=12,
+                   features_per_subtree=4, n_partitions=3),
+)

@@ -19,7 +19,7 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro import core, datasets  # noqa: E402
-from repro.core.range_marking import generate_rules  # noqa: E402
+from repro.core.range_marking import generate_rules, stacked_training_matrix  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -55,10 +55,7 @@ def splidt_model(windowed3, splidt_config):
 @pytest.fixture(scope="session")
 def splidt_rules(splidt_model, windowed3):
     """Compiled TCAM rules of the trained partitioned tree."""
-    training_matrix = np.vstack(
-        [windowed3.partition_matrix(p, "train") for p in range(3)]
-    )
-    return generate_rules(splidt_model, training_matrix)
+    return generate_rules(splidt_model, stacked_training_matrix(windowed3, 3))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,85 @@
+"""CLI smoke tests: ``python -m repro`` end to end via subprocess."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Arguments that keep the subprocess experiments fast.
+FAST_RUN = ["--dataset", "D3", "--n-flows", "140", "--seed", "4",
+            "--depth", "6", "--k", "3", "--partitions", "3",
+            "--replay-flows", "80"]
+
+
+def run_cli(*args: str, expect_code: int = 0) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    process = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+    assert process.returncode == expect_code, (
+        f"exit {process.returncode} != {expect_code}\n"
+        f"stdout:\n{process.stdout}\nstderr:\n{process.stderr}"
+    )
+    return process
+
+
+def test_list_datasets():
+    process = run_cli("list-datasets")
+    for key in ("D1", "D7", "splidt", "netbeacon", "vpn-detection"):
+        assert key in process.stdout
+
+
+def test_run_smoke(tmp_path):
+    out_dir = tmp_path / "run"
+    process = run_cli("run", *FAST_RUN, "--out", str(out_dir))
+    assert "data-plane F1" in process.stdout
+    assert "TTD median" in process.stdout
+    assert (out_dir / "spec.json").is_file()
+    assert (out_dir / "model.pkl").is_file()
+    summary = json.loads((out_dir / "result.json").read_text())
+    assert summary["replayed"] is True
+
+
+def test_replay_saved_run_matches(tmp_path):
+    out_dir = tmp_path / "run"
+    first = run_cli("run", *FAST_RUN, "--out", str(out_dir))
+    second = run_cli("replay", str(out_dir))
+    assert "restored stages: train, compile" in second.stdout
+
+    def dataplane_f1(stdout: str) -> str:
+        (line,) = [l for l in stdout.splitlines() if l.startswith("data-plane F1")]
+        return line
+
+    assert dataplane_f1(first.stdout) == dataplane_f1(second.stdout)
+
+
+def test_run_rejects_bad_spec():
+    process = run_cli("run", "--dataset", "D3", "--n-flows", "5", expect_code=2)
+    assert "n_flows" in process.stderr
+
+
+def test_run_unknown_dataset_rejected_by_argparse():
+    process = run_cli("run", "--dataset", "D99", expect_code=2)
+    assert "invalid choice" in process.stderr
+
+
+def test_compare_smoke():
+    process = run_cli(
+        "compare", "--dataset", "D3", "--n-flows", "140", "--seed", "4",
+        "--replay-flows", "60", "--systems", "splidt,per_packet",
+    )
+    assert "splidt" in process.stdout
+    assert "per_packet" in process.stdout

@@ -1,0 +1,116 @@
+"""ExperimentSpec validation, resolution and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SpliDTConfig
+from repro.pipeline import ExperimentSpec, SpecError, default_replay_engine
+from repro.pipeline.spec import REPLAY_ENGINE_ENV
+from repro.switch.targets import TOFINO2
+
+
+class TestValidation:
+    def test_default_spec_is_valid(self):
+        assert ExperimentSpec().validate() is not None
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"dataset": "D99"},
+            {"system": "no-such-system"},
+            {"n_flows": 5},
+            {"target": "tofino9"},
+            {"replay_engine": "turbo"},
+            {"replay_flows": 0},
+            {"flow_slots": 0},
+            {"test_size": 0.0},
+            {"test_size": 1.5},
+            {"n_trees": 0},
+            {"depth": 0},
+            {"bit_width": 12},
+            # partition sizes must sum to the depth
+            {"depth": 9, "partition_sizes": (3, 3)},
+            # more partitions than depth levels
+            {"depth": 2, "n_partitions": 3},
+        ],
+    )
+    def test_invalid_specs_raise(self, overrides):
+        with pytest.raises(SpecError):
+            ExperimentSpec(**{**{"dataset": "D3"}, **overrides}).validate()
+
+    def test_spec_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(dataset="bogus").validate()
+
+    def test_error_message_names_the_problem(self):
+        with pytest.raises(SpecError, match="dataset"):
+            ExperimentSpec(dataset="bogus").validate()
+        with pytest.raises(SpecError, match="system"):
+            ExperimentSpec(system="bogus").validate()
+
+
+class TestResolution:
+    def test_model_config_uniform_split(self):
+        spec = ExperimentSpec(depth=9, features_per_subtree=4, n_partitions=3)
+        assert spec.model_config() == SpliDTConfig(
+            depth=9, features_per_subtree=4, partition_sizes=(3, 3, 3)
+        )
+
+    def test_explicit_partition_sizes_win(self):
+        spec = ExperimentSpec(depth=9, partition_sizes=(5, 3, 1))
+        assert spec.model_config().partition_sizes == (5, 3, 1)
+
+    def test_partition_sizes_coerced_to_tuple(self):
+        spec = ExperimentSpec(depth=9, partition_sizes=[5, 3, 1])
+        assert spec.partition_sizes == (5, 3, 1)
+
+    def test_target_spec_lookup(self):
+        assert ExperimentSpec(target="Tofino2").target_spec() is TOFINO2
+
+    def test_engine_spec_field_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(REPLAY_ENGINE_ENV, "reference")
+        assert ExperimentSpec(replay_engine="vectorized").resolved_engine() == "vectorized"
+
+    def test_engine_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(REPLAY_ENGINE_ENV, "reference")
+        assert ExperimentSpec().resolved_engine() == "reference"
+        assert default_replay_engine() == "reference"
+
+    def test_engine_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(REPLAY_ENGINE_ENV, raising=False)
+        assert ExperimentSpec().resolved_engine() == "vectorized"
+
+    def test_bad_env_engine_raises(self, monkeypatch):
+        monkeypatch.setenv(REPLAY_ENGINE_ENV, "warp")
+        with pytest.raises(SpecError, match="warp"):
+            ExperimentSpec().resolved_engine()
+
+    def test_topk_config_for_baselines(self):
+        spec = ExperimentSpec(system="netbeacon", depth=8, features_per_subtree=3)
+        config = spec.topk_config()
+        assert (config.depth, config.top_k, config.use_stateful) == (8, 3, True)
+        assert not ExperimentSpec(system="per_packet").topk_config().use_stateful
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        spec = ExperimentSpec(dataset="D6", n_flows=300, seed=5,
+                              partition_sizes=(4, 3, 2), replay_engine="reference")
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+
+        payload = json.dumps(ExperimentSpec(partition_sizes=(3, 3, 3)).to_dict())
+        assert ExperimentSpec.from_dict(json.loads(payload)).partition_sizes == (3, 3, 3)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError, match="mystery"):
+            ExperimentSpec.from_dict({"dataset": "D3", "mystery": 1})
+
+    def test_replace_returns_new_spec(self):
+        spec = ExperimentSpec(dataset="D3")
+        other = spec.replace(dataset="D6", seed=9)
+        assert (other.dataset, other.seed) == ("D6", 9)
+        assert spec.dataset == "D3"

@@ -1,0 +1,71 @@
+"""System/scenario registry behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import (
+    ExperimentSpec,
+    SpecError,
+    available_scenarios,
+    available_systems,
+    get_scenario,
+    get_system,
+    register_scenario,
+    register_system,
+)
+from repro.pipeline.systems import SCENARIOS, SYSTEMS, System
+
+
+def test_builtin_systems_registered():
+    assert {"splidt", "netbeacon", "leo", "per_packet", "topk", "pforest"} <= set(
+        available_systems()
+    )
+
+
+def test_builtin_scenarios_registered():
+    assert {"quickstart", "vpn-detection", "iot-intrusion"} <= set(available_scenarios())
+    for name in available_scenarios():
+        get_scenario(name).validate()
+
+
+def test_get_system_unknown_raises():
+    with pytest.raises(SpecError, match="unknown system"):
+        get_system("quantum-tree")
+
+
+def test_get_scenario_unknown_raises():
+    with pytest.raises(SpecError, match="unknown scenario"):
+        get_scenario("no-such-scenario")
+
+
+def test_register_custom_system_reachable_from_spec():
+    class EchoSystem(System):
+        name = "echo-test"
+        supports_replay = False
+
+        def train(self, spec, windowed):
+            return "trained"
+
+        def offline_report(self, model, windowed, spec):
+            raise NotImplementedError
+
+    register_system(EchoSystem())
+    try:
+        assert get_system("echo-test").train(None, None) == "trained"
+        ExperimentSpec(system="echo-test", depth=6, n_partitions=3).validate()
+    finally:
+        SYSTEMS.pop("echo-test")
+
+
+def test_register_unnamed_system_rejected():
+    with pytest.raises(ValueError):
+        register_system(System())
+
+
+def test_register_custom_scenario():
+    register_scenario("tmp-scenario", ExperimentSpec(dataset="D1"))
+    try:
+        assert get_scenario("tmp-scenario").dataset == "D1"
+    finally:
+        SCENARIOS.pop("tmp-scenario")
