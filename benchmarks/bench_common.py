@@ -43,12 +43,28 @@ BENCH_FLOWS = 500
 #: Seed shared by the benchmark datasets and SpliDT training runs.
 BENCH_SEED = 7
 
-#: .. deprecated:: Read the engine from ``ExperimentSpec.resolved_engine()``
-#:    (or pass ``ExperimentSpec(replay_engine=...)``) instead.  The constant
-#:    is kept so existing benchmark code and notebooks keep working; it is
-#:    resolved through the spec layer, so ``SPLIDT_REPLAY_ENGINE=reference``
-#:    behaves exactly as before.
-REPLAY_ENGINE = ExperimentSpec().resolved_engine()
+
+def __getattr__(name: str):
+    """Deprecation shim for the removed ``REPLAY_ENGINE`` module constant.
+
+    The constant froze the engine choice at import time; benchmark code and
+    notebooks should read ``ExperimentSpec().resolved_engine()`` (which
+    honours ``SPLIDT_REPLAY_ENGINE``) or pin
+    ``ExperimentSpec(replay_engine=...)`` instead.  Accessing the old name
+    still works — it warns and resolves through the spec layer.
+    """
+    if name == "REPLAY_ENGINE":
+        import warnings
+
+        warnings.warn(
+            "bench_common.REPLAY_ENGINE is deprecated; use "
+            "ExperimentSpec().resolved_engine() (or pass "
+            "ExperimentSpec(replay_engine=...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return ExperimentSpec().resolved_engine()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_replay(program, dataset, **kwargs):

@@ -1,0 +1,103 @@
+"""Serving-engine throughput — streaming pkt/s vs. batch vectorized replay.
+
+``repro.serve`` claims the streaming surface costs little over the batch
+path: the micro-batch engine pushes arbitrary-size chunks through the same
+vectorized window machinery, so chunked ingestion must stay within 2x of a
+single-shot ``replay_dataset(engine="vectorized")`` (the acceptance bound;
+in practice it lands much closer).  The benchmark streams the D3 workload
+through the micro-batch engine (single shard) and the sharded engine
+(2 shards), records packets/second for each against the batch baseline, and
+checks the served verdicts stay bit-identical to the batch replay.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import get_store, splidt_experiment, write_result
+from repro.analysis import render_table
+from repro.dataplane import replay_dataset
+from repro.datasets.streams import iter_packet_chunks
+from repro.serve import MicroBatchEngine, ShardedEngine
+
+#: Packets per ingested chunk for the streaming modes.
+CHUNK_SIZE = 2048
+
+#: Maximum slowdown of chunked micro-batch serving vs. batch vectorized replay.
+MAX_SLOWDOWN = 2.0
+
+
+def _stream(engine, flows) -> float:
+    started = time.perf_counter()
+    engine.open()
+    for chunk in iter_packet_chunks(flows, CHUNK_SIZE):
+        engine.ingest(chunk)
+    engine.drain()
+    engine.close()
+    return time.perf_counter() - started
+
+
+def _assert_verdicts_match(batch, served) -> None:
+    verdicts = served.result().verdicts
+    assert set(verdicts) == set(batch.verdicts)
+    assert all(
+        verdicts[fid].label == batch.verdicts[fid].label
+        and verdicts[fid].decided_at == batch.verdicts[fid].decided_at
+        for fid in batch.verdicts
+    )
+    assert served.result().recirculation == batch.recirculation
+
+
+def _run() -> tuple[str, float]:
+    store = get_store("D3")
+    experiment = splidt_experiment("D3", depth=9, k=4, partitions=3, flow_slots=65536)
+    flows = store.dataset.flows
+    n_packets = sum(flow.n_packets for flow in flows)
+
+    def fresh_program():
+        return experiment.system.build_program(
+            experiment.train(), experiment.compile(), experiment.spec
+        )
+
+    started = time.perf_counter()
+    batch = replay_dataset(fresh_program(), store.dataset, engine="vectorized")
+    batch_elapsed = time.perf_counter() - started
+
+    micro = MicroBatchEngine(fresh_program(), flush_flows=64)
+    micro_elapsed = _stream(micro, flows)
+    _assert_verdicts_match(batch, micro)
+
+    sharded = ShardedEngine(fresh_program, n_shards=2, flush_flows=64)
+    sharded_elapsed = _stream(sharded, flows)
+    _assert_verdicts_match(batch, sharded)
+
+    rows = []
+    rates = {}
+    for mode, elapsed in (
+        ("batch vectorized", batch_elapsed),
+        (f"microbatch (chunk {CHUNK_SIZE})", micro_elapsed),
+        (f"sharded x2 (chunk {CHUNK_SIZE})", sharded_elapsed),
+    ):
+        rates[mode] = n_packets / elapsed
+        rows.append([
+            mode,
+            f"{n_packets}",
+            f"{elapsed * 1e3:.1f}",
+            f"{rates[mode]:,.0f}",
+            f"{rates[mode] / rates['batch vectorized']:.2f}x",
+        ])
+
+    table = render_table(
+        ["Mode", "Packets", "Time (ms)", "Packets/s", "vs batch"], rows
+    )
+    slowdown = batch_elapsed and micro_elapsed / batch_elapsed
+    return table, slowdown
+
+
+def test_serve_throughput(benchmark):
+    table, slowdown = benchmark.pedantic(_run, rounds=1, iterations=1)
+    write_result("serve_throughput", table)
+    assert slowdown <= MAX_SLOWDOWN, (
+        f"micro-batch serving is {slowdown:.2f}x slower than batch replay "
+        f"(bound: {MAX_SLOWDOWN}x)"
+    )

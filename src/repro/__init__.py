@@ -5,8 +5,10 @@ The package is organised as a set of substrates (``ml``, ``bayesopt``,
 contribution (``core`` — partitioned training, range-marking rule generation,
 resource modelling, and design-space exploration), plus the data-plane
 simulation (``dataplane``), the baselines the paper compares against
-(``baselines``), reporting helpers (``analysis``), and the declarative
-experiment layer (``pipeline``) that chains all of it behind one spec.
+(``baselines``), reporting helpers (``analysis``), the streaming inference
+engines (``serve``) that feed live packet streams through a deployed model,
+and the declarative experiment layer (``pipeline``) that chains all of it
+behind one spec.
 
 Quickstart::
 
@@ -30,10 +32,11 @@ from repro import (
     features,
     ml,
     pipeline,
+    serve,
     switch,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -45,6 +48,7 @@ __all__ = [
     "features",
     "ml",
     "pipeline",
+    "serve",
     "switch",
     "__version__",
 ]

@@ -8,9 +8,12 @@ from repro.analysis.reporting import (
     render_table,
 )
 from repro.analysis.robustness import SpoofingResult, evaluate_flow_size_spoofing
+from repro.analysis.streaming import RollingReport, RollingTTD
 from repro.analysis.ttd import summarize_ttd
 
 __all__ = [
+    "RollingReport",
+    "RollingTTD",
     "SpoofingResult",
     "evaluate_flow_size_spoofing",
     "format_pareto_table",

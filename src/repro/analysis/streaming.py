@@ -1,0 +1,115 @@
+"""Incremental accumulators for streaming replay (rolling TTD / accuracy).
+
+The batch reporting helpers in this package summarise a *finished* replay.
+When traffic is served through :mod:`repro.serve`, verdicts arrive
+continuously and the serving loop wants rolling statistics without
+re-scanning every verdict per chunk — these accumulators absorb each new
+verdict once (O(1) amortised per update) and produce the same summaries the
+batch helpers would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ttd import summarize_ttd
+from repro.core.evaluation import ClassificationReport
+
+
+class RollingTTD:
+    """Incremental time-to-detection accumulator.
+
+    ``update`` absorbs new per-flow TTD values as they are decided; ``count``,
+    ``mean`` and ``max`` are maintained incrementally, while :meth:`summary`
+    computes the full percentile summary (same keys as
+    :func:`repro.analysis.ttd.summarize_ttd`) over everything absorbed so far.
+
+    Example::
+
+        >>> rolling = RollingTTD()
+        >>> rolling.update([0.04, 0.11])
+        >>> rolling.summary()["max"]
+        0.11
+    """
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+        self._sum = 0.0
+        self._max = 0.0
+
+    def update(self, values) -> None:
+        """Absorb newly decided flows' TTD values (an iterable of seconds)."""
+        for value in values:
+            value = float(value)
+            self._values.append(value)
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of values absorbed."""
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Running mean (0.0 while empty)."""
+        return self._sum / len(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        """Running maximum (0.0 while empty)."""
+        return self._max
+
+    def summary(self) -> dict[str, float]:
+        """Percentile summary over all absorbed values (median/mean/p90/p99/max)."""
+        return summarize_ttd(np.asarray(self._values, dtype=float))
+
+
+class RollingReport:
+    """Incremental classification tallies over streamed verdicts.
+
+    Tracks sample count, correct count and the (true, predicted) label pairs;
+    ``accuracy`` is O(1), and :meth:`report` materialises a full
+    :class:`~repro.core.evaluation.ClassificationReport` on demand.
+
+    Example::
+
+        >>> rolling = RollingReport()
+        >>> rolling.update(1, 1)
+        >>> rolling.update(0, 1)
+        >>> rolling.accuracy
+        0.5
+    """
+
+    def __init__(self) -> None:
+        self._y_true: list[int] = []
+        self._y_pred: list[int] = []
+        self._correct = 0
+
+    def update(self, y_true: int, y_pred: int) -> None:
+        """Absorb one (ground-truth, predicted) label pair."""
+        y_true, y_pred = int(y_true), int(y_pred)
+        self._y_true.append(y_true)
+        self._y_pred.append(y_pred)
+        if y_true == y_pred:
+            self._correct += 1
+
+    @property
+    def n_samples(self) -> int:
+        """Pairs absorbed so far."""
+        return len(self._y_true)
+
+    @property
+    def accuracy(self) -> float:
+        """Running accuracy (0.0 while empty)."""
+        return self._correct / len(self._y_true) if self._y_true else 0.0
+
+    def report(self) -> ClassificationReport:
+        """Full classification report over everything absorbed so far."""
+        if not self._y_true:
+            return ClassificationReport(0.0, 0.0, 0.0, 0.0, 0, np.zeros((0, 0)))
+        return ClassificationReport.from_predictions(
+            np.asarray(self._y_true, dtype=np.intp),
+            np.asarray(self._y_pred, dtype=np.intp),
+        )

@@ -8,7 +8,14 @@ bit-identical results.
 
 from repro.dataplane.codegen import generate_p4_program, generate_table_entries
 from repro.dataplane.controller import Controller, Digest
-from repro.dataplane.runtime import REPLAY_ENGINES, ReplayResult, replay_dataset, ttd_ecdf
+from repro.dataplane.runtime import (
+    REPLAY_ENGINES,
+    ReplayResult,
+    build_replay_result,
+    prepare_replay_flows,
+    replay_dataset,
+    ttd_ecdf,
+)
 from repro.dataplane.splidt_program import FlowVerdict, SpliDTDataPlane
 from repro.dataplane.topk_program import TopKDataPlane
 from repro.dataplane.vectorized import replay_arrays
@@ -21,8 +28,10 @@ __all__ = [
     "ReplayResult",
     "SpliDTDataPlane",
     "TopKDataPlane",
+    "build_replay_result",
     "generate_p4_program",
     "generate_table_entries",
+    "prepare_replay_flows",
     "replay_arrays",
     "replay_dataset",
     "ttd_ecdf",

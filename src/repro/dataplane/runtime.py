@@ -6,17 +6,22 @@ order (as a switch would observe them), feeds them through a program
 verdicts, classification accuracy against ground truth, time-to-detection
 distributions and recirculation statistics.
 
-Two interchangeable engines execute the replay (``engine=`` parameter of
-:func:`replay_dataset`):
+Since the streaming serving layer (:mod:`repro.serve`) landed,
+:func:`replay_dataset` is a thin *adapter* over it: the whole dataset is
+ingested as one chunk into an inference engine which is then drained —
+batch replay is simply the degenerate stream.  The ``engine=`` parameter
+selects the execution strategy:
 
-* ``"reference"`` — the per-packet interpreter loop.  Every packet becomes a
-  PHV and traverses ``process_packet``.  Slow, but it is the semantics
-  oracle the batched engine is verified against.
-* ``"vectorized"`` — the batched engine (:mod:`repro.dataplane.vectorized`).
-  Packets live in structure-of-arrays NumPy columns, flows advance in
-  lock-step window rounds, and per-packet operator updates collapse into
-  segment reductions.  Produces bit-identical verdicts, labels,
-  time-to-detection values and recirculation statistics.
+* ``"reference"`` — :class:`~repro.serve.StreamingEngine`, the per-packet
+  interpreter loop.  Every packet becomes a PHV and traverses
+  ``process_packet``.  Slow, but it is the semantics oracle the batched
+  engine is verified against.
+* ``"vectorized"`` — :class:`~repro.serve.MicroBatchEngine` in deferred
+  mode, which drains through the batched machinery of
+  :mod:`repro.dataplane.vectorized`: packets live in structure-of-arrays
+  NumPy columns, flows advance in lock-step window rounds, and per-packet
+  operator updates collapse into segment reductions.  Produces bit-identical
+  verdicts, labels, time-to-detection values and recirculation statistics.
 
 Both engines share the global packet interleave computed once by
 :class:`~repro.datasets.flows.PacketArrays` instead of re-sorting per call.
@@ -65,6 +70,76 @@ class ReplayResult:
     def recirculations_per_flow(self) -> np.ndarray:
         """Per-flow recirculation counts."""
         return np.array([v.n_recirculations for v in self.verdicts.values()], dtype=float)
+
+
+def build_replay_result(
+    verdicts: dict[int, FlowVerdict],
+    labels: dict[int, int],
+    recirculation: dict[str, float] | None = None,
+) -> ReplayResult:
+    """Score verdicts against ground truth and bundle a :class:`ReplayResult`.
+
+    Shared by :func:`replay_dataset` and the serving engines' ``close()`` so
+    batch and streaming replays produce structurally identical results.
+    """
+    verdicts = dict(sorted(verdicts.items()))
+    decided_ids = [flow_id for flow_id in verdicts if flow_id in labels]
+    y_true = np.array([labels[flow_id] for flow_id in decided_ids], dtype=np.intp)
+    y_pred = np.array([verdicts[flow_id].label for flow_id in decided_ids], dtype=np.intp)
+    if decided_ids:
+        report = ClassificationReport.from_predictions(y_true, y_pred)
+    else:
+        report = ClassificationReport(0.0, 0.0, 0.0, 0.0, 0, np.zeros((0, 0)))
+    return ReplayResult(
+        verdicts=verdicts,
+        labels=dict(labels),
+        report=report,
+        recirculation=dict(recirculation or {}),
+    )
+
+
+def prepare_replay_flows(
+    dataset: FlowDataset,
+    *,
+    max_flows: int | None = None,
+    jitter_starts: bool = False,
+    seed: int = 0,
+) -> list[Flow]:
+    """The flow list a replay (or serving session) observes.
+
+    Applies the ``max_flows`` truncation and, when ``jitter_starts`` is set,
+    shifts each flow's start time randomly within [0, 10) s so flows overlap
+    (models concurrency).  Used by :func:`replay_dataset` and by
+    ``Experiment.packet_stream`` so batch replay and ``python -m repro
+    serve`` stream exactly the same traffic.
+    """
+    flows = dataset.flows[:max_flows] if max_flows else list(dataset.flows)
+    if not jitter_starts:
+        return flows
+    rng = np.random.default_rng(seed)
+    shifted = []
+    for flow in flows:
+        offset = float(rng.uniform(0.0, 10.0))
+        moved = [
+            type(p)(
+                timestamp=p.timestamp + offset,
+                size=p.size,
+                flags=p.flags,
+                direction=p.direction,
+                payload=p.payload,
+            )
+            for p in flow.packets
+        ]
+        shifted.append(
+            Flow(
+                five_tuple=flow.five_tuple,
+                packets=moved,
+                label=flow.label,
+                class_name=flow.class_name,
+                flow_id=flow.flow_id,
+            )
+        )
+    return shifted
 
 
 def _interleaved_packets(flows: list[Flow], soa: PacketArrays):
@@ -116,62 +191,23 @@ def replay_dataset(
     if engine not in REPLAY_ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {REPLAY_ENGINES}")
 
-    flows = dataset.flows[:max_flows] if max_flows else list(dataset.flows)
-    if jitter_starts:
-        rng = np.random.default_rng(seed)
-        shifted = []
-        for flow in flows:
-            offset = float(rng.uniform(0.0, 10.0))
-            moved = [
-                type(p)(
-                    timestamp=p.timestamp + offset,
-                    size=p.size,
-                    flags=p.flags,
-                    direction=p.direction,
-                    payload=p.payload,
-                )
-                for p in flow.packets
-            ]
-            shifted.append(
-                Flow(
-                    five_tuple=flow.five_tuple,
-                    packets=moved,
-                    label=flow.label,
-                    class_name=flow.class_name,
-                    flow_id=flow.flow_id,
-                )
-            )
-        flows = shifted
+    # Deferred import: repro.serve sits on top of this module.
+    from repro.datasets.streams import PacketChunk
+    from repro.serve import MicroBatchEngine, StreamingEngine
 
-    labels = {flow.flow_id: flow.label for flow in flows}
+    flows = prepare_replay_flows(
+        dataset, max_flows=max_flows, jitter_starts=jitter_starts, seed=seed
+    )
     soa = PacketArrays.from_flows(flows)
 
     if engine == "vectorized":
-        from repro.dataplane.vectorized import replay_arrays
-
-        replay_arrays(program, flows, soa=soa)
+        serving = MicroBatchEngine(program, eager=False)
     else:
-        flow_sizes = {flow.flow_id: flow.n_packets for flow in flows}
-        for flow, packet in _interleaved_packets(flows, soa):
-            phv = make_data_phv(flow.five_tuple, packet)
-            program.process_packet(phv, flow.flow_id, flow_sizes[flow.flow_id])
-
-    verdicts = dict(sorted(program.verdicts.items()))
-    decided_ids = [flow_id for flow_id in verdicts if flow_id in labels]
-    y_true = np.array([labels[flow_id] for flow_id in decided_ids], dtype=np.intp)
-    y_pred = np.array([verdicts[flow_id].label for flow_id in decided_ids], dtype=np.intp)
-    if decided_ids:
-        report = ClassificationReport.from_predictions(y_true, y_pred)
-    else:
-        report = ClassificationReport(0.0, 0.0, 0.0, 0.0, 0, np.zeros((0, 0)))
-
-    recirculation = {}
-    if hasattr(program, "recirculation_stats"):
-        recirculation = program.recirculation_stats()
-
-    return ReplayResult(
-        verdicts=verdicts, labels=labels, report=report, recirculation=recirculation
-    )
+        serving = StreamingEngine(program)
+    serving.open()
+    serving.ingest(PacketChunk(soa=soa, flows=flows, positions=soa.interleave_order))
+    serving.drain()
+    return serving.close()
 
 
 def ttd_ecdf(ttd_values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -51,7 +51,7 @@ from repro.features.flowmeter import (
     LARGE_PACKET_BYTES,
     SMALL_PACKET_BYTES,
 )
-from repro.switch.hashing import register_index
+from repro.switch.hashing import flow_slots
 from repro.switch.phv import make_data_phv
 
 #: TCP flag features handled by the generic bit-test kernel.
@@ -321,14 +321,28 @@ def _stateless_columns(soa: PacketArrays) -> dict[int, np.ndarray]:
     }
 
 
-def _replay_scalar(program, flows: list[Flow], soa: PacketArrays, flow_mask: np.ndarray) -> None:
+def _replay_scalar(
+    program,
+    flows: list[Flow],
+    soa: PacketArrays,
+    flow_mask: np.ndarray,
+    prefix_counts: np.ndarray | None = None,
+) -> None:
     """Per-packet reference semantics for the flows selected by ``flow_mask``.
 
     Used for flows that share a register slot: their packets are replayed in
     global ``(timestamp, flow_id)`` order through ``program.process_packet``,
     so slot corruption and reclaim behave exactly as in the reference engine.
+
+    ``prefix_counts`` (per-flow, optional) restricts each flow to its first
+    ``prefix_counts[i]`` packets while keeping the *full* flow size in the
+    packet headers — the micro-batch serving engine uses this to replay the
+    buffered prefix of flows whose stream ended mid-flow.
     """
     packet_selected = flow_mask[soa.packet_flow]
+    if prefix_counts is not None:
+        local_index = np.arange(soa.n_packets, dtype=np.int64) - soa.flow_starts[soa.packet_flow]
+        packet_selected = packet_selected & (local_index < prefix_counts[soa.packet_flow])
     order = soa.interleave_order[packet_selected[soa.interleave_order]]
     flow_starts = soa.flow_starts
     sizes = soa.n_packets_per_flow
@@ -433,10 +447,7 @@ def replay_arrays(program, flows: list[Flow], soa: PacketArrays | None = None) -
     if soa.n_flows == 0:
         return
 
-    table_size = program.indexer.table_size
-    slots = np.array(
-        [register_index(flow.five_tuple, table_size) for flow in flows], dtype=np.intp
-    )
+    slots = flow_slots(flows, program.indexer.table_size)
     populated = soa.n_packets_per_flow > 0
 
     occupancy = np.zeros(table_size, dtype=np.int64)

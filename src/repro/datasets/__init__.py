@@ -26,6 +26,7 @@ from repro.datasets.registry import (
     load_dataset,
     load_windowed,
 )
+from repro.datasets.streams import PacketChunk, iter_packet_chunks
 from repro.datasets.workloads import (
     CONTROL_PACKET_BYTES,
     RECIRCULATION_CAPACITY_BPS,
@@ -53,6 +54,7 @@ __all__ = [
     "PROTO_UDP",
     "Packet",
     "PacketArrays",
+    "PacketChunk",
     "RECIRCULATION_CAPACITY_BPS",
     "RecirculationEstimate",
     "SyntheticTrafficGenerator",
@@ -66,6 +68,7 @@ __all__ = [
     "generate_dataset",
     "get_profile",
     "get_workload",
+    "iter_packet_chunks",
     "load_dataset",
     "load_windowed",
     "materialize",

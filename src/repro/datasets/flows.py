@@ -313,3 +313,27 @@ class PacketArrays:
     def flow_slice(self, flow_index: int) -> slice:
         """Half-open slice of flow ``flow_index``'s packets in the columns."""
         return slice(int(self.flow_starts[flow_index]), int(self.flow_starts[flow_index + 1]))
+
+    def iter_chunks(self, chunk_size: int | None = None):
+        """Yield slices of :attr:`interleave_order` of at most ``chunk_size``.
+
+        The chunks partition the global ``(timestamp, flow_id)`` replay order,
+        so feeding them to a streaming engine in sequence reproduces exactly
+        the packet sequence a switch would observe.  ``None`` yields the whole
+        permutation at once; at least one (possibly empty) chunk is always
+        yielded.
+
+        Example::
+
+            >>> total = sum(len(c) for c in soa.iter_chunks(256))
+            >>> total == soa.n_packets
+            True
+        """
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        order = self.interleave_order
+        if chunk_size is None or chunk_size >= order.size:
+            yield order
+            return
+        for start in range(0, order.size, chunk_size):
+            yield order[start:start + chunk_size]

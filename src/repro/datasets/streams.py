@@ -1,0 +1,89 @@
+"""Chunked packet iteration over :class:`~repro.datasets.flows.PacketArrays`.
+
+A :class:`PacketChunk` is the unit of ingestion of the streaming inference
+engines (:mod:`repro.serve`): a slice of the global ``(timestamp, flow_id)``
+packet interleave, carried as *positions into a shared structure-of-arrays
+source* rather than materialised packet objects — so chunking adds no
+per-packet cost on top of the SoA construction.
+
+Stream contract (what the serving engines assume and check):
+
+* every chunk of one engine session references the **same** source
+  (``soa`` / ``flows`` pair), and
+* concatenating the chunks' ``positions`` yields a time-ordered
+  (non-decreasing timestamp) packet sequence — the order a switch observes.
+
+:func:`iter_packet_chunks` produces chunks satisfying both by slicing the
+precomputed interleave permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.datasets.flows import Flow, FlowDataset, PacketArrays
+
+
+@dataclass(eq=False)
+class PacketChunk:
+    """One ingestion unit of a packet stream.
+
+    Attributes:
+        soa: The shared structure-of-arrays source the positions index into.
+        flows: Flow objects aligned with ``soa``'s flow axis (needed by the
+            per-packet scalar paths and for ground-truth labels).
+        positions: Packet positions (indices into ``soa``'s packet columns)
+            in stream order.
+    """
+
+    soa: PacketArrays
+    flows: list[Flow]
+    positions: np.ndarray
+
+    @property
+    def n_packets(self) -> int:
+        """Packets carried by this chunk."""
+        return int(self.positions.size)
+
+    def timestamps(self) -> np.ndarray:
+        """Arrival timestamps of the chunk's packets, in stream order."""
+        return self.soa.timestamps[self.positions]
+
+
+def iter_packet_chunks(
+    flows: FlowDataset | Iterable[Flow],
+    chunk_size: int | None = None,
+    *,
+    soa: PacketArrays | None = None,
+) -> Iterator[PacketChunk]:
+    """Yield :class:`PacketChunk` slices of ``flows`` in global arrival order.
+
+    Args:
+        flows: A :class:`~repro.datasets.flows.FlowDataset` or list of flows.
+        chunk_size: Packets per chunk; ``None`` yields the whole stream as a
+            single chunk (the ingest-everything-then-drain shape batch replay
+            uses).
+        soa: Reuse an existing :class:`PacketArrays` built from the same
+            flows instead of constructing one.
+
+    At least one chunk is always yielded (possibly empty), so downstream
+    consumers observe the flow table — and its labels — even for packet-less
+    datasets.
+
+    Example::
+
+        >>> for chunk in iter_packet_chunks(dataset, chunk_size=256):
+        ...     engine.ingest(chunk)
+    """
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if isinstance(flows, FlowDataset):
+        flows = flows.flows
+    flows = list(flows)
+    if soa is None:
+        soa = PacketArrays.from_flows(flows)
+    for positions in soa.iter_chunks(chunk_size):
+        yield PacketChunk(soa=soa, flows=flows, positions=positions)

@@ -39,6 +39,7 @@ from repro.pipeline.experiment import (
 from repro.pipeline.spec import (
     REPLAY_ENGINE_ENV,
     ExperimentSpec,
+    ServeConfig,
     SpecError,
     default_replay_engine,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "SCENARIOS",
     "STAGES",
     "SYSTEMS",
+    "ServeConfig",
     "SpecError",
     "System",
     "available_scenarios",

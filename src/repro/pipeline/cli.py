@@ -5,15 +5,21 @@ Subcommands:
 * ``run`` — execute one experiment end to end (train, compile, deploy,
   replay, report); optionally save the run directory with ``--out``.
 * ``replay`` — reload a saved run directory and replay it (no retraining).
+* ``serve`` — stream the experiment's packets through a deployed model with
+  a streaming inference engine, emitting verdict digests and rolling
+  TTD/recirculation statistics as they happen.
 * ``list-datasets`` — the D1–D7 catalogue, plus registered systems/scenarios.
 * ``compare`` — run several systems on one dataset and print a comparison
-  table (the shape of the paper's headline tables).
+  table (the shape of the paper's headline tables); ``--json`` emits
+  machine-readable rows instead.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.analysis.reporting import render_table
 from repro.datasets.profiles import DATASET_KEYS
@@ -27,6 +33,7 @@ from repro.pipeline.systems import (
     available_systems,
     get_scenario,
 )
+from repro.serve import SERVE_ENGINES, ServeError
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -76,6 +83,14 @@ def _spec_from_args(args: argparse.Namespace, *, system: str | None = None) -> E
     # Flag-level depth/partition overrides invalidate a preset's explicit sizes.
     if {"depth", "n_partitions"} & set(overrides):
         overrides.setdefault("partition_sizes", None)
+    serve_overrides = {}
+    for flag, field_name in (("serve_engine", "engine"), ("shards", "shards"),
+                             ("chunk_size", "chunk_size"), ("backpressure", "backpressure")):
+        value = getattr(args, flag, None)
+        if value is not None:
+            serve_overrides[field_name] = value
+    if serve_overrides:
+        overrides["serve"] = spec.serve.replace(**serve_overrides)
     return spec.replace(**overrides).validate()
 
 
@@ -163,6 +178,80 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args, system=args.system)
+    experiment = Experiment(spec)
+    engine = experiment.serve_engine()
+    serve = spec.serve
+    print(f"serving           : {spec.system} on {spec.dataset} "
+          f"({serve.engine} engine"
+          + (f", {serve.shards} shards" if serve.engine == "sharded" else "")
+          + f", chunks of {serve.chunk_size} pkts)")
+
+    reported: set[int] = set()
+    started = time.perf_counter()
+    engine.open()
+    try:
+        for index, chunk in enumerate(experiment.packet_stream(), start=1):
+            engine.ingest(chunk)
+            if args.digests:
+                reported = _emit_digests(engine, reported)
+            if args.progress_every and index % args.progress_every == 0:
+                print(_progress_line(index, engine.stats()))
+        engine.drain()
+        if args.digests:
+            _emit_digests(engine, reported)
+        result = engine.close()
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    stats = engine.stats()
+    rate = stats.packets / elapsed if elapsed > 0 else 0.0
+    print(f"stream complete   : {stats.packets} packets in {stats.chunks} chunks "
+          f"({elapsed * 1e3:.1f} ms, {rate:,.0f} pkt/s)")
+    print(f"flows decided     : {len(result.verdicts)}/{stats.flows_seen} "
+          f"(accuracy {stats.accuracy:.3f}, data-plane F1 {result.report.f1_score:.3f})")
+    if stats.ttd:
+        print(f"TTD median / p99  : {stats.ttd['median'] * 1e3:.1f} ms / "
+              f"{stats.ttd['p99'] * 1e3:.1f} ms")
+    if result.recirculation:
+        print(f"recirculation     : {int(result.recirculation.get('packets', 0))} packets "
+              f"({result.recirculation.get('utilisation', 0.0) * 100:.5f}% of the path)")
+    return 0
+
+
+def _progress_line(chunk_index: int, stats) -> str:
+    """One rolling-statistics line of the serving loop."""
+    line = (f"chunk {chunk_index:>5}  pkts {stats.packets:>8}  "
+            f"decided {stats.flows_decided:>5}/{stats.flows_seen:<5}  "
+            f"acc {stats.accuracy:.3f}")
+    if stats.ttd.get("median"):
+        line += f"  ttd_p50 {stats.ttd['median'] * 1e3:.1f}ms"
+    if stats.recirculation:
+        line += f"  recirc {int(stats.recirculation.get('packets', 0))}"
+    if stats.buffered_packets:
+        line += f"  buffered {stats.buffered_packets}"
+    return line
+
+
+def _emit_digests(engine, reported: set[int]) -> set[int]:
+    """Print the verdict digests that appeared since the last call."""
+    verdicts = engine.verdicts()
+    if len(verdicts) == len(reported):
+        return reported
+    fresh = sorted(flow_id for flow_id in verdicts if flow_id not in reported)
+    for flow_id in fresh:
+        verdict = verdicts[flow_id]
+        reported.add(flow_id)
+        print(f"digest  flow {flow_id:>6}  class {verdict.label:>3}  "
+              f"ttd {verdict.time_to_detection * 1e3:8.2f}ms  "
+              f"recirc {verdict.n_recirculations}"
+              + ("  early-exit" if verdict.early_exit else ""))
+    return reported
+
+
 def _cmd_list_datasets(args: argparse.Namespace) -> int:
     rows = []
     for key in DATASET_KEYS:
@@ -177,13 +266,23 @@ def _cmd_list_datasets(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     systems = [name.strip() for name in args.systems.split(",") if name.strip()]
+    #: Every JSON row carries this full key set (None when unavailable), so
+    #: consumers never need to branch on row shape.
+    empty_record = {
+        "error": None, "offline_f1": None, "offline_accuracy": None,
+        "replay_f1": None, "replay_flows": 0, "ttd_median_s": None,
+        "ttd_p99_s": None, "recirculation_packets": None, "max_flows": None,
+        "tcam_entries": None, "feasible": None,
+    }
     rows = []
+    records = []
     for system in systems:
         spec = _spec_from_args(args, system=system)
         try:
             result = Experiment(spec).run()
         except ExperimentError as exc:
             rows.append([system, "infeasible", "-", "-", "-", str(exc)])
+            records.append({**empty_record, "system": system, "error": str(exc)})
             continue
         replayed = result.replay_result is not None
         rows.append([
@@ -195,6 +294,34 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             "-" if result.feasibility is None
             else ("yes" if result.feasibility.feasible else "no"),
         ])
+        records.append({
+            **empty_record,
+            "system": system,
+            "offline_f1": result.offline_report.f1_score,
+            "offline_accuracy": result.offline_report.accuracy,
+            "replay_f1": result.replay_result.report.f1_score if replayed else None,
+            "replay_flows": len(result.replay_result.verdicts) if replayed else 0,
+            "ttd_median_s": result.ttd.get("median") if result.ttd else None,
+            "ttd_p99_s": result.ttd.get("p99") if result.ttd else None,
+            "recirculation_packets": result.recirculation.get("packets"),
+            "max_flows": result.resources.max_flows if result.resources else None,
+            "tcam_entries": result.resources.tcam_entries if result.resources else None,
+            "feasible": result.feasibility.feasible if result.feasibility else None,
+        })
+    if args.json:
+        base_spec = _spec_from_args(args)
+        print(json.dumps(
+            {
+                "dataset": base_spec.dataset,
+                "n_flows": base_spec.n_flows,
+                "seed": base_spec.seed,
+                "target": base_spec.target,
+                "target_flows": base_spec.target_flows,
+                "rows": records,
+            },
+            indent=2,
+        ))
+        return 0
     print(render_table(
         ["System", "Offline F1", "Replay F1", "Median TTD (ms)", "Max flows",
          f"Feasible @ {_spec_from_args(args).target_flows:,}"],
@@ -228,6 +355,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the replayed flow count (0 = all)")
     replay.set_defaults(func=_cmd_replay)
 
+    serve = sub.add_parser(
+        "serve",
+        help="stream packets through a deployed model (rolling stats + digests)")
+    _add_spec_arguments(serve)
+    serve.add_argument("--system", default="splidt", choices=available_systems(),
+                       help="system under test (default: splidt)")
+    serve.add_argument("--serve-engine", dest="serve_engine", choices=SERVE_ENGINES,
+                       help="inference engine (default: spec's, microbatch)")
+    serve.add_argument("--shards", type=int,
+                       help="worker shards for the sharded engine")
+    serve.add_argument("--chunk-size", type=int, dest="chunk_size",
+                       help="packets per ingested chunk")
+    serve.add_argument("--backpressure", type=int,
+                       help="buffered-packet limit before ingestion blocks/errors")
+    serve.add_argument("--progress-every", type=int, default=8, dest="progress_every",
+                       help="print rolling stats every N chunks (0 = quiet)")
+    serve.add_argument("--digests", action="store_true",
+                       help="print each verdict digest as it is emitted")
+    serve.set_defaults(func=_cmd_serve)
+
     list_datasets = sub.add_parser("list-datasets",
                                    help="list datasets, systems and scenarios")
     list_datasets.set_defaults(func=_cmd_list_datasets)
@@ -236,6 +383,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(compare)
     compare.add_argument("--systems", default="splidt,netbeacon",
                          help="comma-separated system names (default: splidt,netbeacon)")
+    compare.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON rows instead of a table")
     compare.set_defaults(func=_cmd_compare)
 
     return parser

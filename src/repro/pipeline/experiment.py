@@ -228,6 +228,60 @@ class Experiment:
 
         return self._stage("replay", run)
 
+    # ------------------------------------------------------------------
+    # Serving (streaming inference over the deployed model)
+    # ------------------------------------------------------------------
+    def serve_engine(self):
+        """A (not yet opened) streaming engine configured by ``spec.serve``.
+
+        Builds on the deployed model: ``prepare``/``train``/``compile`` run
+        (or come from a loaded artifact), then the system's program factory
+        feeds :func:`repro.serve.create_engine`.  Pair it with
+        :meth:`packet_stream`::
+
+            engine = experiment.serve_engine()
+            with engine:
+                for chunk in experiment.packet_stream():
+                    engine.ingest(chunk)
+            print(engine.result().report.f1_score)
+        """
+        from repro.serve import create_engine
+
+        if not self.system.supports_replay:
+            raise ExperimentError(
+                f"system {self.spec.system!r} has no data-plane program to serve"
+            )
+        self.deploy()  # surfaces resource/feasibility data before serving
+        factory = self.system.program_factory(self.train(), self.compile(), self.spec)
+        serve = self.spec.serve
+        return create_engine(
+            factory,
+            engine=serve.engine,
+            shards=serve.shards,
+            chunk_size=serve.chunk_size,
+            backpressure=serve.backpressure,
+        )
+
+    def packet_stream(self, chunk_size: int | None = None):
+        """The experiment's replay traffic as an iterator of packet chunks.
+
+        Applies the spec's ``replay_flows`` truncation and ``jitter_starts``
+        exactly as the replay stage does, so serving and batch replay observe
+        the same packets.  ``chunk_size`` defaults to ``spec.serve.chunk_size``.
+        """
+        from repro.dataplane.runtime import prepare_replay_flows
+        from repro.datasets.streams import iter_packet_chunks
+
+        spec = self.spec
+        flows = prepare_replay_flows(
+            self.prepare().dataset,
+            max_flows=spec.replay_flows,
+            jitter_starts=spec.jitter_starts,
+            seed=spec.seed,
+        )
+        size = chunk_size if chunk_size is not None else spec.serve.chunk_size
+        return iter_packet_chunks(flows, size)
+
     def report(self) -> ExperimentResult:
         """Run any remaining stages and bundle the :class:`ExperimentResult`."""
 

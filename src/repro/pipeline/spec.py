@@ -12,11 +12,12 @@ replay verdicts.
 from __future__ import annotations
 
 import os
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, fields, replace as dataclass_replace
 
 from repro.core.config import SpliDTConfig, TopKConfig
 from repro.dataplane.runtime import REPLAY_ENGINES
 from repro.datasets.profiles import DATASET_KEYS
+from repro.serve.engine import SERVE_ENGINES
 from repro.switch.targets import TARGETS, TargetSpec, get_target
 
 #: Environment variable that selects the default replay engine.
@@ -34,6 +35,47 @@ def default_replay_engine() -> str:
     honoured) and falls back to ``"vectorized"``.
     """
     return os.environ.get(REPLAY_ENGINE_ENV, "vectorized")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Declarative serving settings (the ``python -m repro serve`` surface).
+
+    Attributes:
+        engine: Inference engine — ``"streaming"`` (per-packet),
+            ``"microbatch"`` (vectorized micro-batches) or ``"sharded"``
+            (parallel worker shards partitioned by CRC32 register slot).
+        shards: Worker shard count (sharded engine only).
+        chunk_size: Packets per ingested chunk when streaming a dataset.
+        backpressure: Buffered-packet limit before ingestion errors
+            (micro-batch) or blocks (sharded queues).
+    """
+
+    engine: str = "microbatch"
+    shards: int = 2
+    chunk_size: int = 256
+    backpressure: int = 1_000_000
+
+    def validate(self) -> "ServeConfig":
+        """Check the serving settings; raises :class:`SpecError`."""
+        if self.engine not in SERVE_ENGINES:
+            raise SpecError(
+                f"unknown serve engine {self.engine!r}; expected one of {SERVE_ENGINES}"
+            )
+        if self.shards < 1:
+            raise SpecError(f"serve shards must be >= 1, got {self.shards}")
+        if self.chunk_size < 1:
+            raise SpecError(f"serve chunk_size must be >= 1, got {self.chunk_size}")
+        if self.backpressure < self.chunk_size:
+            raise SpecError(
+                f"serve backpressure ({self.backpressure}) must be >= "
+                f"chunk_size ({self.chunk_size})"
+            )
+        return self
+
+    def replace(self, **changes) -> "ServeConfig":
+        """A copy of the config with ``changes`` applied."""
+        return dataclass_replace(self, **changes)
 
 
 @dataclass(frozen=True)
@@ -69,6 +111,8 @@ class ExperimentSpec:
         jitter_starts: Randomly shift flow start times during replay.
         test_size: Held-out fraction of the train/test split.
         n_trees: Ensemble size (pForest only).
+        serve: Streaming-serving settings (:class:`ServeConfig`) used by
+            ``python -m repro serve`` and :meth:`Experiment.serve_engine`.
     """
 
     dataset: str = "D3"
@@ -88,10 +132,13 @@ class ExperimentSpec:
     jitter_starts: bool = False
     test_size: float = 0.3
     n_trees: int = 5
+    serve: ServeConfig = ServeConfig()
 
     def __post_init__(self) -> None:
         if self.partition_sizes is not None and not isinstance(self.partition_sizes, tuple):
             object.__setattr__(self, "partition_sizes", tuple(self.partition_sizes))
+        if isinstance(self.serve, dict):
+            object.__setattr__(self, "serve", ServeConfig(**self.serve))
 
     # ------------------------------------------------------------------
     # Validation
@@ -127,6 +174,7 @@ class ExperimentSpec:
             raise SpecError(f"test_size must be in (0, 1), got {self.test_size}")
         if self.n_trees < 1:
             raise SpecError(f"n_trees must be >= 1, got {self.n_trees}")
+        self.serve.validate()
         try:
             if self.system == "splidt":
                 self.model_config()
@@ -188,7 +236,7 @@ class ExperimentSpec:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-compatible)."""
+        """Plain-dict form (JSON-compatible); ``serve`` becomes a nested dict."""
         data = asdict(self)
         if data["partition_sizes"] is not None:
             data["partition_sizes"] = list(data["partition_sizes"])
@@ -204,6 +252,13 @@ class ExperimentSpec:
         payload = dict(data)
         if payload.get("partition_sizes") is not None:
             payload["partition_sizes"] = tuple(payload["partition_sizes"])
+        if isinstance(payload.get("serve"), dict):
+            serve_payload = payload["serve"]
+            serve_known = {f.name for f in fields(ServeConfig)}
+            serve_unknown = set(serve_payload) - serve_known
+            if serve_unknown:
+                raise SpecError(f"unknown serve fields: {sorted(serve_unknown)}")
+            payload["serve"] = ServeConfig(**serve_payload)
         return cls(**payload)
 
     def replace(self, **changes) -> "ExperimentSpec":

@@ -69,6 +69,15 @@ class System:
         """A *fresh* data-plane program with the rules installed, or ``None``."""
         return None
 
+    def program_factory(self, model, rules: RuleSet | None, spec: ExperimentSpec):
+        """Zero-argument factory of fresh programs for the serving layer.
+
+        The sharded engine (:class:`repro.serve.ShardedEngine`) builds one
+        program per shard through this, so register state is never shared
+        across shards.
+        """
+        return lambda: self.build_program(model, rules, spec)
+
     def resources(
         self, model, rules: RuleSet | None, spec: ExperimentSpec
     ) -> ResourceEstimate | None:

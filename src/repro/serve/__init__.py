@@ -1,0 +1,102 @@
+"""Streaming inference engines: sessions, micro-batches, shards.
+
+This package is the serving surface of a deployed model — the counterpart,
+for live traffic, of the one-shot :func:`repro.dataplane.replay_dataset`
+(which is itself implemented as an ingest-everything-then-drain adapter over
+these engines).  See :mod:`repro.serve.engine` for the protocol and
+``docs/serving.md`` for the full contract.
+
+Example::
+
+    from repro.datasets.streams import iter_packet_chunks
+    from repro.serve import create_engine
+
+    engine = create_engine(lambda: build_program(), engine="sharded", shards=4)
+    with engine:
+        for chunk in iter_packet_chunks(dataset, chunk_size=256):
+            engine.ingest(chunk)
+            print(engine.stats().flows_decided)
+    print(engine.result().report.f1_score)
+"""
+
+from __future__ import annotations
+
+from repro.serve.engine import (
+    DEFAULT_BACKPRESSURE,
+    DEFAULT_FLUSH_FLOWS,
+    SERVE_ENGINES,
+    BackpressureError,
+    EngineStats,
+    InferenceEngine,
+    ServeError,
+    merged_recirculation_stats,
+)
+from repro.serve.microbatch import MicroBatchEngine
+from repro.serve.sharded import ShardedEngine
+from repro.serve.streaming import StreamingEngine
+
+
+def create_engine(
+    program_factory,
+    *,
+    engine: str = "microbatch",
+    shards: int = 2,
+    chunk_size: int = 256,
+    backpressure: int = DEFAULT_BACKPRESSURE,
+    flush_flows: int = DEFAULT_FLUSH_FLOWS,
+) -> InferenceEngine:
+    """Build a (not yet opened) engine from declarative serving settings.
+
+    This is what ``ExperimentSpec.serve`` resolves through: ``engine`` picks
+    the implementation, ``shards`` sizes the sharded engine, and
+    ``backpressure``/``chunk_size`` bound the buffered work (for the sharded
+    engine the queue depth is ``backpressure // chunk_size`` chunks).
+
+    Args:
+        program_factory: Zero-argument callable building a fresh data-plane
+            program; called once for the single-program engines and once per
+            shard for ``"sharded"``.
+        engine: One of :data:`SERVE_ENGINES`.
+        shards: Shard count (sharded engine only).
+        chunk_size: Expected ingest chunk size (used to size shard queues).
+        backpressure: Buffered-packet limit.
+        flush_flows: Eager-flush threshold of the micro-batch engine(s).
+
+    Example::
+
+        >>> engine = create_engine(factory, engine="microbatch")
+        >>> engine.name
+        'microbatch'
+    """
+    if engine == "streaming":
+        return StreamingEngine(program_factory())
+    if engine == "microbatch":
+        return MicroBatchEngine(
+            program_factory(), flush_flows=flush_flows, backpressure=backpressure
+        )
+    if engine == "sharded":
+        queue_depth = max(1, backpressure // max(chunk_size, 1))
+        return ShardedEngine(
+            program_factory,
+            n_shards=shards,
+            queue_depth=queue_depth,
+            flush_flows=flush_flows,
+            backpressure=backpressure,
+        )
+    raise ServeError(f"unknown serve engine {engine!r}; expected one of {SERVE_ENGINES}")
+
+
+__all__ = [
+    "BackpressureError",
+    "DEFAULT_BACKPRESSURE",
+    "DEFAULT_FLUSH_FLOWS",
+    "EngineStats",
+    "InferenceEngine",
+    "MicroBatchEngine",
+    "SERVE_ENGINES",
+    "ServeError",
+    "ShardedEngine",
+    "StreamingEngine",
+    "create_engine",
+    "merged_recirculation_stats",
+]

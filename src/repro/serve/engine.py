@@ -1,0 +1,302 @@
+"""The streaming inference-engine protocol.
+
+An :class:`InferenceEngine` is the serving surface of a deployed data-plane
+program.  Where :func:`repro.dataplane.replay_dataset` demands a fully
+materialised dataset and returns one report at the end, an engine consumes a
+*stream* of :class:`~repro.datasets.streams.PacketChunk` slices and exposes
+verdicts and rolling statistics while the traffic is still flowing::
+
+    engine.open()
+    for chunk in iter_packet_chunks(dataset, chunk_size=256):
+        engine.ingest(chunk)           # any chunk size, any number of calls
+        print(engine.stats())          # rolling TTD / accuracy / recirculation
+    engine.drain()                     # end of stream: flush buffered work
+    result = engine.close()           # full ReplayResult
+
+Lifecycle: ``created → open → (ingest*) → drained → closed``.  ``drain``
+marks the end of the stream (buffered windows of still-incomplete flows are
+replayed as prefixes, exactly as the reference loop would have processed
+them); ingesting after ``drain`` is an error.  ``close`` drains implicitly
+when needed and assembles the final :class:`~repro.dataplane.ReplayResult`.
+
+Semantics contract (asserted by ``tests/test_serve_engines.py``): for a
+time-ordered stream, the verdicts, time-to-detection values and
+recirculation statistics after ``drain`` are **bit-identical** to
+``replay_dataset(..., engine="reference")`` over the same packets — for any
+chunk sizes, including hash-collision flows and the IAT accumulation-order
+guarantee, and regardless of how many shards the work is spread over.
+
+Concrete engines:
+
+* :class:`~repro.serve.streaming.StreamingEngine` — per-packet reference
+  runtime, verdicts appear the moment their boundary packet is ingested.
+* :class:`~repro.serve.microbatch.MicroBatchEngine` — batches flows through
+  the vectorized window machinery; completed flows are flushed eagerly in
+  micro-batches, the remainder at ``drain``.
+* :class:`~repro.serve.sharded.ShardedEngine` — partitions flows by their
+  CRC32 register slot across worker shards so disjoint-slot flows advance in
+  parallel; collision flows stay co-sharded, preserving hardware semantics.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.streaming import RollingReport, RollingTTD
+from repro.dataplane.runtime import ReplayResult, build_replay_result
+from repro.datasets.streams import PacketChunk
+
+#: Engine names accepted by :func:`repro.serve.create_engine` (and by
+#: ``ServeConfig.engine`` / ``python -m repro serve --serve-engine``).
+SERVE_ENGINES = ("streaming", "microbatch", "sharded")
+
+#: Default eager-flush threshold of the micro-batch engine (flows).
+DEFAULT_FLUSH_FLOWS = 8
+
+#: Default backpressure limit (buffered, not-yet-processed packets).
+DEFAULT_BACKPRESSURE = 1_000_000
+
+
+class ServeError(RuntimeError):
+    """Raised on protocol violations (lifecycle, stream order, bad config)."""
+
+
+class BackpressureError(ServeError):
+    """Raised when an engine's buffered work exceeds its backpressure limit."""
+
+
+@dataclass
+class EngineStats:
+    """Rolling statistics of one serving session.
+
+    Attributes:
+        engine: Engine name (``"streaming"`` / ``"microbatch"`` / ``"sharded"``).
+        packets: Packets ingested so far.
+        chunks: Chunks ingested so far.
+        flows_seen: Distinct flows with at least one ingested packet.
+        flows_decided: Flows with a recorded verdict.
+        buffered_packets: Ingested packets not yet pushed through the program
+            (0 for the per-packet streaming engine).
+        accuracy: Rolling accuracy of the decided flows against ground truth.
+        ttd: Rolling time-to-detection summary (median/mean/p90/p99/max, s).
+        recirculation: Recirculation counters so far (empty when the program
+            has no recirculation channel).
+    """
+
+    engine: str
+    packets: int
+    chunks: int
+    flows_seen: int
+    flows_decided: int
+    buffered_packets: int
+    accuracy: float
+    ttd: dict[str, float] = field(default_factory=dict)
+    recirculation: dict[str, float] = field(default_factory=dict)
+
+
+def merged_recirculation_stats(programs) -> dict[str, float]:
+    """Recirculation statistics of many programs, merged bit-exactly.
+
+    The channel's counters are order-insensitive aggregates (packet/byte
+    totals plus the min/max of the submission interval), so the union over
+    shard-local channels equals what a single channel observing all
+    submissions would have reported — including the derived mean bandwidth
+    and utilisation.
+
+    Example::
+
+        >>> merged = merged_recirculation_stats([shard.program for shard in shards])
+        >>> merged["packets"] == sum(s.program.recirculation_stats()["packets"]
+        ...                          for s in shards)
+        True
+    """
+    channels = [
+        program.pipeline.recirculation
+        for program in programs
+        if hasattr(program, "recirculation_stats")
+    ]
+    if not channels:
+        return {}
+    packets = sum(channel.packets_recirculated for channel in channels)
+    total_bytes = sum(channel.bytes_recirculated for channel in channels)
+    firsts = [c.first_timestamp for c in channels if c.first_timestamp is not None]
+    lasts = [c.last_timestamp for c in channels if c.last_timestamp is not None]
+    if firsts:
+        interval = max(lasts) - min(firsts)
+        if interval <= 0:
+            interval = 1e-6
+        mean_bps = total_bytes * 8 / interval
+    else:
+        mean_bps = 0.0
+    capacity = channels[0].capacity_bps
+    return {
+        "packets": float(packets),
+        "bytes": float(total_bytes),
+        "mean_bps": mean_bps,
+        "utilisation": mean_bps / capacity if capacity > 0 else 0.0,
+    }
+
+
+class InferenceEngine(abc.ABC):
+    """Base class implementing the serving lifecycle and rolling statistics.
+
+    Subclasses implement ``_ingest`` (consume one validated chunk) and may
+    override ``_drain`` / ``_on_open`` / ``_on_close``; the base class
+    enforces the lifecycle, the single-source and time-order stream
+    contracts, tracks counters, and assembles the final
+    :class:`~repro.dataplane.ReplayResult`.
+    """
+
+    name: str = ""
+
+    def __init__(self) -> None:
+        self._state = "created"
+        self._soa = None
+        self._flows: list | None = None
+        self._labels: dict[int, int] = {}
+        self._watermark = float("-inf")
+        self._packets = 0
+        self._chunks = 0
+        self._seen: np.ndarray | None = None
+        self._rolling_ttd = RollingTTD()
+        self._rolling_report = RollingReport()
+        self._scored: set[int] = set()
+        self._result: ReplayResult | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> "InferenceEngine":
+        """Start a serving session; must precede the first ``ingest``."""
+        if self._state != "created":
+            raise ServeError(f"cannot open() an engine in state {self._state!r}")
+        self._state = "open"
+        self._on_open()
+        return self
+
+    def ingest(self, chunk: PacketChunk) -> None:
+        """Consume one time-ordered chunk of the packet stream."""
+        if self._state != "open":
+            raise ServeError(f"cannot ingest() in state {self._state!r}; call open() first")
+        self._register_chunk(chunk)
+        self._ingest(chunk)
+
+    def drain(self) -> None:
+        """End of stream: flush all buffered work through the program."""
+        if self._state == "drained":
+            return
+        if self._state != "open":
+            raise ServeError(f"cannot drain() in state {self._state!r}")
+        self._drain()
+        self._state = "drained"
+
+    def close(self) -> ReplayResult:
+        """Drain if needed, finalise, and return the full replay result."""
+        if self._state == "closed":
+            return self._result
+        if self._state == "created":
+            raise ServeError("cannot close() an engine that was never opened")
+        if self._state == "open":
+            self.drain()
+        self._result = build_replay_result(
+            self.verdicts(), self._labels, self.recirculation_stats()
+        )
+        self._state = "closed"
+        self._on_close()
+        return self._result
+
+    def result(self) -> ReplayResult:
+        """The final result (only available after :meth:`close`)."""
+        if self._result is None:
+            raise ServeError("result() is only available after close()")
+        return self._result
+
+    def __enter__(self) -> "InferenceEngine":
+        return self.open()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def verdicts(self) -> dict:
+        """Snapshot of the verdicts recorded so far, keyed by flow id."""
+
+    def recirculation_stats(self) -> dict[str, float]:
+        """Recirculation counters so far (empty without a recirc channel)."""
+        return {}
+
+    def stats(self) -> EngineStats:
+        """Rolling statistics of the session (cheap; absorbs new verdicts)."""
+        verdicts = self.verdicts()
+        for flow_id, verdict in verdicts.items():
+            if flow_id in self._scored:
+                continue
+            self._scored.add(flow_id)
+            self._rolling_ttd.update([verdict.time_to_detection])
+            label = self._labels.get(flow_id)
+            if label is not None:
+                self._rolling_report.update(label, verdict.label)
+        return EngineStats(
+            engine=self.name,
+            packets=self._packets,
+            chunks=self._chunks,
+            flows_seen=int(self._seen.sum()) if self._seen is not None else 0,
+            flows_decided=len(verdicts),
+            buffered_packets=self._buffered_packet_count(),
+            accuracy=self._rolling_report.accuracy,
+            ttd=self._rolling_ttd.summary(),
+            recirculation=self.recirculation_stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _on_open(self) -> None:
+        pass
+
+    @abc.abstractmethod
+    def _ingest(self, chunk: PacketChunk) -> None:
+        """Consume one chunk (stream contracts already validated)."""
+
+    def _drain(self) -> None:
+        pass
+
+    def _on_close(self) -> None:
+        pass
+
+    def _buffered_packet_count(self) -> int:
+        return 0
+
+    # ------------------------------------------------------------------
+    # Stream-contract validation
+    # ------------------------------------------------------------------
+    def _register_chunk(self, chunk: PacketChunk) -> None:
+        if self._soa is None:
+            self._soa = chunk.soa
+            self._flows = chunk.flows
+            self._labels = {flow.flow_id: flow.label for flow in chunk.flows}
+            self._seen = np.zeros(chunk.soa.n_flows, dtype=bool)
+        elif chunk.soa is not self._soa:
+            raise ServeError(
+                "engine sessions are single-source: every chunk must reference "
+                "the PacketArrays the session started with"
+            )
+        positions = np.asarray(chunk.positions)
+        if positions.size:
+            timestamps = self._soa.timestamps[positions]
+            if timestamps[0] < self._watermark or np.any(np.diff(timestamps) < 0):
+                raise ServeError(
+                    "stream must be time-ordered (non-decreasing timestamps "
+                    "across and within chunks)"
+                )
+            self._watermark = float(timestamps[-1])
+            self._packets += int(positions.size)
+            self._seen[self._soa.packet_flow[positions]] = True
+        self._chunks += 1

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import binascii
 
+import numpy as np
+
 from repro.datasets.flows import FiveTuple
 
 
@@ -41,6 +43,18 @@ def register_index(five_tuple: FiveTuple, table_size: int) -> int:
     if table_size < 1:
         raise ValueError("table_size must be >= 1")
     return hash_five_tuple(five_tuple) % table_size
+
+
+def flow_slots(flows, table_size: int) -> np.ndarray:
+    """Register slot of every flow in ``flows`` (batch :func:`register_index`).
+
+    Shared by the vectorized replay engine and the serving layer, which also
+    hands the array from a sharded parent down to its shard engines so the
+    per-flow CRC32 hashing runs once per session.
+    """
+    return np.array(
+        [register_index(flow.five_tuple, table_size) for flow in flows], dtype=np.intp
+    )
 
 
 class FlowIndexer:

@@ -1,0 +1,60 @@
+"""Incremental accumulators (`repro.analysis.streaming`)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.streaming import RollingReport, RollingTTD
+from repro.analysis.ttd import summarize_ttd
+from repro.core.evaluation import ClassificationReport
+
+
+class TestRollingTTD:
+    def test_matches_batch_summary(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0, 2.0, size=101)
+        rolling = RollingTTD()
+        for start in range(0, values.size, 7):
+            rolling.update(values[start:start + 7])
+        assert rolling.count == values.size
+        assert rolling.summary() == summarize_ttd(values)
+
+    def test_incremental_counters(self):
+        rolling = RollingTTD()
+        assert rolling.count == 0 and rolling.mean == 0.0 and rolling.max == 0.0
+        rolling.update([0.5, 1.5])
+        assert rolling.count == 2
+        assert rolling.mean == 1.0
+        assert rolling.max == 1.5
+
+    def test_empty_summary_shape(self):
+        summary = RollingTTD().summary()
+        assert summary == {"median": 0.0, "mean": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+
+
+class TestRollingReport:
+    def test_matches_batch_report(self):
+        rng = np.random.default_rng(7)
+        y_true = rng.integers(0, 4, size=200)
+        y_pred = rng.integers(0, 4, size=200)
+        rolling = RollingReport()
+        for t, p in zip(y_true, y_pred):
+            rolling.update(int(t), int(p))
+        batch = ClassificationReport.from_predictions(y_true, y_pred)
+        report = rolling.report()
+        assert rolling.n_samples == 200
+        assert rolling.accuracy == batch.accuracy
+        assert report.f1_score == batch.f1_score
+        assert np.array_equal(report.confusion, batch.confusion)
+
+    def test_running_accuracy(self):
+        rolling = RollingReport()
+        assert rolling.accuracy == 0.0
+        rolling.update(1, 1)
+        rolling.update(0, 1)
+        assert rolling.accuracy == 0.5
+        assert rolling.n_samples == 2
+
+    def test_empty_report(self):
+        report = RollingReport().report()
+        assert report.n_samples == 0 and report.f1_score == 0.0

@@ -1,0 +1,69 @@
+"""Chunked packet iteration (`repro.datasets.streams`, `PacketArrays.iter_chunks`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.flows import PacketArrays
+from repro.datasets.streams import PacketChunk, iter_packet_chunks
+
+
+class TestIterChunks:
+    def test_chunks_partition_interleave_order(self, small_dataset):
+        soa = small_dataset.packet_arrays()
+        pieces = list(soa.iter_chunks(97))
+        assert np.array_equal(np.concatenate(pieces), soa.interleave_order)
+        assert all(len(piece) <= 97 for piece in pieces)
+        assert sum(len(piece) for piece in pieces) == soa.n_packets
+
+    def test_none_yields_whole_stream(self, small_dataset):
+        soa = small_dataset.packet_arrays()
+        pieces = list(soa.iter_chunks(None))
+        assert len(pieces) == 1
+        assert np.array_equal(pieces[0], soa.interleave_order)
+
+    def test_empty_source_yields_one_empty_chunk(self):
+        soa = PacketArrays.from_flows([])
+        pieces = list(soa.iter_chunks(8))
+        assert len(pieces) == 1 and pieces[0].size == 0
+
+
+class TestIterPacketChunks:
+    def test_accepts_dataset_and_flow_list(self, small_dataset):
+        from_dataset = list(iter_packet_chunks(small_dataset, 256))
+        from_flows = list(iter_packet_chunks(small_dataset.flows, 256))
+        assert len(from_dataset) == len(from_flows)
+        for a, b in zip(from_dataset, from_flows):
+            assert np.array_equal(a.positions, b.positions)
+
+    def test_chunks_share_one_source(self, small_dataset):
+        chunks = list(iter_packet_chunks(small_dataset, 500))
+        assert len(chunks) > 1
+        assert all(chunk.soa is chunks[0].soa for chunk in chunks)
+        assert all(chunk.flows is chunks[0].flows for chunk in chunks)
+
+    def test_chunk_timestamps_are_globally_ordered(self, small_dataset):
+        previous = float("-inf")
+        for chunk in iter_packet_chunks(small_dataset, 73):
+            timestamps = chunk.timestamps()
+            assert np.all(np.diff(timestamps) >= 0)
+            if timestamps.size:
+                assert timestamps[0] >= previous
+                previous = float(timestamps[-1])
+
+    def test_reuses_provided_soa(self, small_dataset):
+        soa = small_dataset.packet_arrays()
+        chunk = next(iter_packet_chunks(small_dataset.flows, None, soa=soa))
+        assert chunk.soa is soa
+        assert chunk.n_packets == soa.n_packets
+
+    def test_rejects_bad_chunk_size(self, small_dataset):
+        with pytest.raises(ValueError, match="chunk_size"):
+            next(iter_packet_chunks(small_dataset, 0))
+
+    def test_packet_chunk_helpers(self, small_dataset):
+        chunk = next(iter_packet_chunks(small_dataset, 11))
+        assert isinstance(chunk, PacketChunk)
+        assert chunk.n_packets == 11
+        assert chunk.timestamps().shape == (11,)

@@ -83,3 +83,49 @@ def test_compare_smoke():
     )
     assert "splidt" in process.stdout
     assert "per_packet" in process.stdout
+
+
+def test_compare_json_rows():
+    process = run_cli(
+        "compare", "--dataset", "D3", "--n-flows", "140", "--seed", "4",
+        "--replay-flows", "60", "--systems", "splidt,per_packet", "--json",
+    )
+    payload = json.loads(process.stdout)
+    assert payload["dataset"] == "D3" and payload["n_flows"] == 140
+    rows = {row["system"]: row for row in payload["rows"]}
+    assert set(rows) == {"splidt", "per_packet"}
+    splidt = rows["splidt"]
+    assert splidt["error"] is None
+    assert 0.0 <= splidt["offline_f1"] <= 1.0
+    assert splidt["replay_f1"] is not None and splidt["ttd_median_s"] > 0
+    assert rows["per_packet"]["replay_f1"] is None  # no data-plane program
+
+
+def test_serve_smoke():
+    process = run_cli(
+        "serve", *FAST_RUN, "--serve-engine", "sharded", "--shards", "2",
+        "--chunk-size", "64", "--progress-every", "16", "--digests",
+    )
+    assert "sharded engine, 2 shards" in process.stdout
+    assert "stream complete" in process.stdout
+    assert "digest  flow" in process.stdout
+    (decided_line,) = [line for line in process.stdout.splitlines()
+                       if line.startswith("flows decided")]
+    assert "/80" in decided_line and "data-plane F1" in decided_line
+
+
+def test_serve_matches_replay_f1():
+    served = run_cli("serve", *FAST_RUN, "--serve-engine", "microbatch",
+                     "--progress-every", "0")
+    replayed = run_cli("run", *FAST_RUN, "--engine", "reference")
+
+    def f1(stdout: str, prefix: str) -> str:
+        (line,) = [l for l in stdout.splitlines() if l.startswith(prefix)]
+        return line.rstrip(")").split()[-1]
+
+    assert f1(served.stdout, "flows decided") == f1(replayed.stdout, "data-plane F1")
+
+
+def test_serve_rejects_systems_without_programs():
+    process = run_cli("serve", *FAST_RUN, "--system", "per_packet", expect_code=2)
+    assert "no data-plane program" in process.stderr

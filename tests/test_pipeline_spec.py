@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import SpliDTConfig
-from repro.pipeline import ExperimentSpec, SpecError, default_replay_engine
+from repro.pipeline import ExperimentSpec, ServeConfig, SpecError, default_replay_engine
 from repro.pipeline.spec import REPLAY_ENGINE_ENV
 from repro.switch.targets import TOFINO2
 
@@ -33,6 +33,10 @@ class TestValidation:
             {"depth": 9, "partition_sizes": (3, 3)},
             # more partitions than depth levels
             {"depth": 2, "n_partitions": 3},
+            {"serve": ServeConfig(engine="warp")},
+            {"serve": ServeConfig(shards=0)},
+            {"serve": ServeConfig(chunk_size=0)},
+            {"serve": ServeConfig(chunk_size=512, backpressure=256)},
         ],
     )
     def test_invalid_specs_raise(self, overrides):
@@ -114,3 +118,37 @@ class TestSerialisation:
         other = spec.replace(dataset="D6", seed=9)
         assert (other.dataset, other.seed) == ("D6", 9)
         assert spec.dataset == "D3"
+
+
+class TestServeConfig:
+    def test_default_spec_carries_serve_config(self):
+        spec = ExperimentSpec().validate()
+        assert spec.serve == ServeConfig()
+        assert spec.serve.engine == "microbatch"
+
+    def test_serve_roundtrips_as_nested_dict(self):
+        import json
+
+        spec = ExperimentSpec(
+            serve=ServeConfig(engine="sharded", shards=4, chunk_size=128,
+                              backpressure=4096)
+        )
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert payload["serve"] == {"engine": "sharded", "shards": 4,
+                                    "chunk_size": 128, "backpressure": 4096}
+        restored = ExperimentSpec.from_dict(payload)
+        assert restored == spec
+        assert isinstance(restored.serve, ServeConfig)
+
+    def test_serve_dict_coerced_at_construction(self):
+        spec = ExperimentSpec(serve={"engine": "streaming", "chunk_size": 32})
+        assert spec.serve == ServeConfig(engine="streaming", chunk_size=32)
+
+    def test_unknown_serve_keys_rejected(self):
+        with pytest.raises(SpecError, match="serve"):
+            ExperimentSpec.from_dict({"serve": {"engine": "microbatch", "warp": 9}})
+
+    def test_serve_replace(self):
+        config = ServeConfig()
+        assert config.replace(shards=8).shards == 8
+        assert config.shards == 2

@@ -1,0 +1,327 @@
+"""Streaming-parity tests for the serving engines (`repro.serve`).
+
+The contract (see ``repro/serve/engine.py``): for a time-ordered stream,
+every engine — per-packet streaming, micro-batch in any chunking, and the
+sharded engine with any shard count — produces verdicts, TTD arrays and
+recirculation statistics **bit-identical** to
+``replay_dataset(..., engine="reference")`` over the same packets.  The
+parameterised suite covers chunk sizes {1, 7, window-aligned, whole-dataset},
+hash-collision flows (tiny register files), and the IAT accumulation-order
+guarantee (configs whose subtrees use the mean/std inter-arrival features),
+plus the protocol/lifecycle and backpressure behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import train_topk_model
+from repro.core.config import TopKConfig
+from repro.dataplane import SpliDTDataPlane, TopKDataPlane, replay_dataset
+from repro.datasets.flows import PacketArrays
+from repro.datasets.streams import PacketChunk, iter_packet_chunks
+from repro.features.window import window_boundaries
+from repro.serve import (
+    BackpressureError,
+    MicroBatchEngine,
+    ServeError,
+    ShardedEngine,
+    StreamingEngine,
+    create_engine,
+)
+
+#: Chunk-size axis of the parity matrix; ``"window"`` splits the stream at
+#: every packet that completes some flow's window, ``None`` is the whole
+#: dataset in one chunk.
+CHUNKINGS = (1, 7, "window", None)
+
+
+def _window_aligned_chunks(flows, n_partitions: int):
+    """Chunks that end exactly where some flow completes a window."""
+    soa = PacketArrays.from_flows(flows)
+    boundary = np.zeros(soa.n_packets, dtype=bool)
+    for index, flow in enumerate(flows):
+        if flow.n_packets == 0:
+            continue
+        start = int(soa.flow_starts[index])
+        for count in window_boundaries(flow.n_packets, n_partitions):
+            boundary[start + count - 1] = True
+    order = soa.interleave_order
+    cut_after = np.flatnonzero(boundary[order])
+    pieces = np.split(order, cut_after + 1)
+    return [PacketChunk(soa=soa, flows=flows, positions=piece)
+            for piece in pieces if piece.size]
+
+
+def _chunks(flows, chunking, n_partitions: int = 3):
+    if chunking == "window":
+        return _window_aligned_chunks(flows, n_partitions)
+    return list(iter_packet_chunks(flows, chunking))
+
+
+def _stream(engine, chunks):
+    engine.open()
+    for chunk in chunks:
+        engine.ingest(chunk)
+    engine.drain()
+    return engine.close()
+
+
+def _assert_identical(reference, served):
+    """Field-by-field equality of a reference replay and a served result."""
+    assert set(reference.verdicts) == set(served.verdicts)
+    for flow_id, ref_verdict in reference.verdicts.items():
+        verdict = served.verdicts[flow_id]
+        assert ref_verdict.label == verdict.label
+        assert ref_verdict.decided_at == verdict.decided_at
+        assert ref_verdict.first_packet_at == verdict.first_packet_at
+        assert ref_verdict.n_recirculations == verdict.n_recirculations
+        assert ref_verdict.early_exit == verdict.early_exit
+    assert np.array_equal(reference.time_to_detection(), served.time_to_detection())
+    assert reference.labels == served.labels
+    assert reference.report.f1_score == served.report.f1_score
+    assert reference.recirculation == served.recirculation
+
+
+class TestMicroBatchParity:
+    """MicroBatchEngine == reference, for every chunking of the stream."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, splidt_model, splidt_rules, small_dataset):
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+        return replay_dataset(program, small_dataset, engine="reference")
+
+    @pytest.mark.parametrize("chunking", CHUNKINGS)
+    def test_chunking_invariance(
+        self, chunking, splidt_model, splidt_rules, small_dataset, reference
+    ):
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+        engine = MicroBatchEngine(program, flush_flows=4)
+        result = _stream(engine, _chunks(small_dataset.flows, chunking))
+        _assert_identical(reference, result)
+
+    @pytest.mark.parametrize("chunking", CHUNKINGS)
+    def test_hash_collisions(self, chunking, splidt_model, splidt_rules, small_dataset):
+        # 64 slots for 360 flows: most flows collide; undecided collision
+        # flows leave dirty slots that later flows must inherit bit-exactly.
+        reference = replay_dataset(
+            SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=64),
+            small_dataset,
+            engine="reference",
+        )
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=64)
+        result = _stream(
+            MicroBatchEngine(program, flush_flows=2),
+            _chunks(small_dataset.flows, chunking),
+        )
+        _assert_identical(reference, result)
+
+    def test_deferred_mode_equals_vectorized_replay(
+        self, splidt_model, splidt_rules, small_dataset
+    ):
+        vectorized = replay_dataset(
+            SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192),
+            small_dataset,
+            engine="vectorized",
+        )
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+        result = _stream(
+            MicroBatchEngine(program, eager=False), _chunks(small_dataset.flows, 64)
+        )
+        _assert_identical(vectorized, result)
+
+    def test_truncated_stream_matches_reference_prefix(
+        self, splidt_model, splidt_rules, small_dataset
+    ):
+        # Stop the stream mid-trace: flows with buffered prefixes must replay
+        # exactly as the reference loop over the same packet subset (full
+        # flow sizes in the headers, no verdicts for flows that never reach
+        # their final window).
+        flows = small_dataset.flows
+        chunks = list(iter_packet_chunks(flows, 500))
+        half = chunks[: len(chunks) // 2]
+
+        reference_program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+        reference = _stream(StreamingEngine(reference_program), half)
+
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+        result = _stream(MicroBatchEngine(program, flush_flows=4), half)
+        _assert_identical(reference, result)
+
+
+@pytest.mark.parametrize(
+    "key,depth,k,partitions",
+    [("D1", 8, 6, 4), ("D2", 10, 5, 5)],
+)
+def test_microbatch_parity_across_datasets(key, depth, k, partitions):
+    """Different configs activate different kernels — including the IAT
+    features whose left-to-right accumulation order the vectorized machinery
+    must reproduce bit for bit."""
+    from test_dataplane_vectorized import _splidt_artifacts
+
+    dataset, model, rules = _splidt_artifacts(
+        key, n_flows=120, depth=depth, k=k, partitions=partitions, seed=13
+    )
+    reference = replay_dataset(
+        SpliDTDataPlane(model, rules, flow_slots=8192), dataset, engine="reference"
+    )
+    program = SpliDTDataPlane(model, rules, flow_slots=8192)
+    result = _stream(
+        MicroBatchEngine(program, flush_flows=4), _chunks(dataset.flows, 7, partitions)
+    )
+    _assert_identical(reference, result)
+
+
+class TestShardedParity:
+    """ShardedEngine >= 2 shards == reference, verdicts merged bit for bit."""
+
+    @pytest.mark.parametrize("n_shards", (2, 3))
+    @pytest.mark.parametrize("flow_slots", (8192, 64))
+    def test_sharded_microbatch(
+        self, n_shards, flow_slots, splidt_model, splidt_rules, small_dataset
+    ):
+        reference = replay_dataset(
+            SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=flow_slots),
+            small_dataset,
+            engine="reference",
+        )
+        engine = ShardedEngine(
+            lambda: SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=flow_slots),
+            n_shards=n_shards,
+            flush_flows=4,
+        )
+        result = _stream(engine, _chunks(small_dataset.flows, 64))
+        _assert_identical(reference, result)
+
+    def test_sharded_streaming_children(self, splidt_model, splidt_rules, small_dataset):
+        reference = replay_dataset(
+            SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192),
+            small_dataset,
+            engine="reference",
+        )
+        engine = ShardedEngine(
+            lambda: SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192),
+            n_shards=2,
+            child_engine="streaming",
+        )
+        result = _stream(engine, _chunks(small_dataset.flows, 97))
+        _assert_identical(reference, result)
+
+
+class TestStreamingAndTopK:
+    def test_streaming_chunking_invariance(
+        self, splidt_model, splidt_rules, small_dataset
+    ):
+        reference = replay_dataset(
+            SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192),
+            small_dataset,
+            engine="reference",
+        )
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+        result = _stream(StreamingEngine(program), _chunks(small_dataset.flows, 13))
+        _assert_identical(reference, result)
+
+    @pytest.fixture(scope="class")
+    def topk_model(self, windowed3):
+        return train_topk_model(windowed3, TopKConfig(depth=6, top_k=4))
+
+    @pytest.mark.parametrize("chunking", (1, 7, None))
+    def test_topk_microbatch(self, chunking, topk_model, small_dataset):
+        reference = replay_dataset(
+            TopKDataPlane(topk_model, flow_slots=8192),
+            small_dataset,
+            engine="reference",
+        )
+        program = TopKDataPlane(topk_model, flow_slots=8192)
+        result = _stream(
+            MicroBatchEngine(program, flush_flows=4), _chunks(small_dataset.flows, chunking)
+        )
+        _assert_identical(reference, result)
+
+    def test_topk_sharded(self, topk_model, small_dataset):
+        reference = replay_dataset(
+            TopKDataPlane(topk_model, flow_slots=64), small_dataset, engine="reference"
+        )
+        engine = ShardedEngine(
+            lambda: TopKDataPlane(topk_model, flow_slots=64), n_shards=2
+        )
+        result = _stream(engine, _chunks(small_dataset.flows, 64))
+        _assert_identical(reference, result)
+
+
+class TestProtocol:
+    @pytest.fixture()
+    def program(self, splidt_model, splidt_rules):
+        return SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+
+    def test_ingest_requires_open(self, program, small_dataset):
+        engine = MicroBatchEngine(program)
+        chunk = next(iter_packet_chunks(small_dataset.flows, 8))
+        with pytest.raises(ServeError, match="open"):
+            engine.ingest(chunk)
+
+    def test_ingest_after_drain_rejected(self, program, small_dataset):
+        engine = MicroBatchEngine(program).open()
+        chunks = list(iter_packet_chunks(small_dataset.flows, 1000))
+        engine.ingest(chunks[0])
+        engine.drain()
+        with pytest.raises(ServeError, match="drained"):
+            engine.ingest(chunks[1])
+
+    def test_out_of_order_stream_rejected(self, program, small_dataset):
+        engine = MicroBatchEngine(program).open()
+        chunks = list(iter_packet_chunks(small_dataset.flows, 100))
+        engine.ingest(chunks[1])
+        with pytest.raises(ServeError, match="time-ordered"):
+            engine.ingest(chunks[0])
+
+    def test_single_source_enforced(self, program, small_dataset):
+        engine = MicroBatchEngine(program).open()
+        engine.ingest(next(iter_packet_chunks(small_dataset.flows, 50)))
+        with pytest.raises(ServeError, match="single-source"):
+            engine.ingest(next(iter_packet_chunks(small_dataset.flows[:5], 50)))
+
+    def test_backpressure(self, program, small_dataset):
+        engine = MicroBatchEngine(program, backpressure=50, flush_flows=10_000).open()
+        chunks = iter_packet_chunks(small_dataset.flows, 40)
+        engine.ingest(next(chunks))
+        with pytest.raises(BackpressureError):
+            engine.ingest(next(chunks))
+
+    def test_close_is_idempotent_and_drains(self, program, small_dataset):
+        engine = MicroBatchEngine(program).open()
+        for chunk in iter_packet_chunks(small_dataset.flows, 500):
+            engine.ingest(chunk)
+        result = engine.close()  # implicit drain
+        assert engine.close() is result
+        assert engine.result() is result
+        assert len(result.verdicts) > 0
+
+    def test_stats_roll_forward(self, program, small_dataset):
+        engine = MicroBatchEngine(program, flush_flows=2).open()
+        seen_packets = 0
+        last_decided = 0
+        for chunk in iter_packet_chunks(small_dataset.flows, 2000):
+            engine.ingest(chunk)
+            stats = engine.stats()
+            seen_packets += chunk.n_packets
+            assert stats.packets == seen_packets
+            assert stats.flows_decided >= last_decided
+            last_decided = stats.flows_decided
+        engine.drain()
+        stats = engine.stats()
+        assert stats.engine == "microbatch"
+        assert stats.buffered_packets == 0
+        assert stats.flows_decided == len(engine.verdicts())
+        assert 0.0 <= stats.accuracy <= 1.0
+        assert stats.ttd["max"] >= stats.ttd["median"] >= 0.0
+
+    def test_create_engine_dispatch(self, splidt_model, splidt_rules):
+        factory = lambda: SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=256)
+        assert create_engine(factory, engine="streaming").name == "streaming"
+        assert create_engine(factory, engine="microbatch").name == "microbatch"
+        sharded = create_engine(factory, engine="sharded", shards=3)
+        assert sharded.name == "sharded" and sharded.n_shards == 3
+        with pytest.raises(ServeError, match="unknown serve engine"):
+            create_engine(factory, engine="warp")
