@@ -17,6 +17,7 @@ this module's dataset-store cache.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -75,6 +76,30 @@ def run_replay(program, dataset, **kwargs):
     """
     kwargs.setdefault("engine", ExperimentSpec().resolved_engine())
     return replay_dataset(program, dataset, **kwargs)
+
+#: Environment knob: worker-process count of the serving benchmarks.
+SERVE_WORKERS_ENV = "SPLIDT_SERVE_WORKERS"
+
+
+def serve_workers(default: int = 4) -> int:
+    """Worker count for the sharded serving benchmarks.
+
+    Reads ``SPLIDT_SERVE_WORKERS`` (so CI and operators can match the
+    benchmark to the machine) and falls back to ``default``.  Used for both
+    the thread-sharded and process-sharded rows of
+    ``test_serve_throughput.py`` so the two engines are always compared at
+    the same shard count.
+    """
+    value = os.environ.get(SERVE_WORKERS_ENV)
+    return int(value) if value else default
+
+
+def available_cores() -> int:
+    """CPU cores this process may use (affinity-aware when the OS has it)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
 
 #: Flow-count targets reported in the paper.
 FLOW_TARGETS = (100_000, 500_000, 1_000_000)

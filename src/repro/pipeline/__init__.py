@@ -47,6 +47,7 @@ from repro.pipeline.systems import (
     SCENARIOS,
     SYSTEMS,
     ExperimentError,
+    ProgramFactory,
     System,
     available_scenarios,
     available_systems,
@@ -63,6 +64,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
     "Prepared",
+    "ProgramFactory",
     "REPLAY_ENGINE_ENV",
     "SCENARIOS",
     "STAGES",

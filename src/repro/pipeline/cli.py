@@ -85,6 +85,7 @@ def _spec_from_args(args: argparse.Namespace, *, system: str | None = None) -> E
         overrides.setdefault("partition_sizes", None)
     serve_overrides = {}
     for flag, field_name in (("serve_engine", "engine"), ("shards", "shards"),
+                             ("workers", "workers"), ("spawn_method", "spawn_method"),
                              ("chunk_size", "chunk_size"), ("backpressure", "backpressure")):
         value = getattr(args, flag, None)
         if value is not None:
@@ -183,10 +184,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     experiment = Experiment(spec)
     engine = experiment.serve_engine()
     serve = spec.serve
+    parallelism = ""
+    if serve.engine == "sharded":
+        parallelism = f", {serve.shards} thread shards"
+    elif serve.engine == "sharded-mp":
+        parallelism = (f", {serve.workers} worker processes"
+                       + (f" ({serve.spawn_method})" if serve.spawn_method else ""))
     print(f"serving           : {spec.system} on {spec.dataset} "
-          f"({serve.engine} engine"
-          + (f", {serve.shards} shards" if serve.engine == "sharded" else "")
-          + f", chunks of {serve.chunk_size} pkts)")
+          f"({serve.engine} engine{parallelism}, chunks of {serve.chunk_size} pkts)")
 
     reported: set[int] = set()
     started = time.perf_counter()
@@ -364,7 +369,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--serve-engine", dest="serve_engine", choices=SERVE_ENGINES,
                        help="inference engine (default: spec's, microbatch)")
     serve.add_argument("--shards", type=int,
-                       help="worker shards for the sharded engine")
+                       help="worker threads for the sharded engine")
+    serve.add_argument("--workers", type=int,
+                       help="worker processes for the sharded-mp engine")
+    serve.add_argument("--spawn-method", dest="spawn_method",
+                       choices=("fork", "spawn", "forkserver"),
+                       help="process start method for sharded-mp "
+                            "(default: the platform's)")
     serve.add_argument("--chunk-size", type=int, dest="chunk_size",
                        help="packets per ingested chunk")
     serve.add_argument("--backpressure", type=int,

@@ -258,6 +258,8 @@ class Experiment:
             factory,
             engine=serve.engine,
             shards=serve.shards,
+            workers=serve.workers,
+            spawn_method=serve.spawn_method,
             chunk_size=serve.chunk_size,
             backpressure=serve.backpressure,
         )

@@ -18,6 +18,7 @@ from repro.core.config import SpliDTConfig, TopKConfig
 from repro.dataplane.runtime import REPLAY_ENGINES
 from repro.datasets.profiles import DATASET_KEYS
 from repro.serve.engine import SERVE_ENGINES
+from repro.serve.process_sharded import START_METHODS as SPAWN_METHODS
 from repro.switch.targets import TARGETS, TargetSpec, get_target
 
 #: Environment variable that selects the default replay engine.
@@ -43,9 +44,15 @@ class ServeConfig:
 
     Attributes:
         engine: Inference engine — ``"streaming"`` (per-packet),
-            ``"microbatch"`` (vectorized micro-batches) or ``"sharded"``
-            (parallel worker shards partitioned by CRC32 register slot).
-        shards: Worker shard count (sharded engine only).
+            ``"microbatch"`` (vectorized micro-batches), ``"sharded"``
+            (worker *threads* partitioned by CRC32 register slot) or
+            ``"sharded-mp"`` (worker *processes* over a shared-memory packet
+            source — the multi-core engine).
+        shards: Worker thread count (``"sharded"`` engine only).
+        workers: Worker process count (``"sharded-mp"`` engine only).
+        spawn_method: Process start method for ``"sharded-mp"`` —
+            ``"fork"``, ``"spawn"``, ``"forkserver"`` or ``None`` (the
+            platform default: fork on Linux, spawn on macOS/Windows).
         chunk_size: Packets per ingested chunk when streaming a dataset.
         backpressure: Buffered-packet limit before ingestion errors
             (micro-batch) or blocks (sharded queues).
@@ -53,6 +60,8 @@ class ServeConfig:
 
     engine: str = "microbatch"
     shards: int = 2
+    workers: int = 4
+    spawn_method: str | None = None
     chunk_size: int = 256
     backpressure: int = 1_000_000
 
@@ -64,6 +73,13 @@ class ServeConfig:
             )
         if self.shards < 1:
             raise SpecError(f"serve shards must be >= 1, got {self.shards}")
+        if self.workers < 1:
+            raise SpecError(f"serve workers must be >= 1, got {self.workers}")
+        if self.spawn_method not in SPAWN_METHODS:
+            raise SpecError(
+                f"unknown serve spawn_method {self.spawn_method!r}; "
+                f"expected one of {SPAWN_METHODS}"
+            )
         if self.chunk_size < 1:
             raise SpecError(f"serve chunk_size must be >= 1, got {self.chunk_size}")
         if self.backpressure < self.chunk_size:

@@ -41,6 +41,53 @@ class ExperimentError(RuntimeError):
     """Raised when a pipeline stage cannot produce its output."""
 
 
+class _RegistryRef:
+    """Pickle placeholder: a system adapter referenced by registry name."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class ProgramFactory:
+    """Picklable zero-argument factory of fresh data-plane programs.
+
+    The serving layer builds one program per shard/worker through this.  A
+    plain ``lambda`` would do for threads, but the process-sharded engine
+    must *pickle* the factory into its workers.  In-process the factory
+    calls the exact :class:`System` instance it was built from (custom,
+    unregistered adapters keep working, as they did with the old lambda);
+    across a pickle boundary a *registered* adapter travels as its registry
+    name and is re-resolved in the worker, while an unregistered one is
+    pickled directly (it must then be picklable itself).
+
+    Under ``spawn``/``forkserver`` a by-name adapter must be registered at
+    import time (every built-in system is); systems registered dynamically
+    at runtime exist only in the parent interpreter.
+    """
+
+    def __init__(self, system: "System", model, rules, spec: ExperimentSpec) -> None:
+        self.system = system
+        self.model = model
+        self.rules = rules
+        self.spec = spec
+
+    def __call__(self):
+        """Build a fresh program via the system adapter."""
+        return self.system.build_program(self.model, self.rules, self.spec)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        name = self.system.name
+        if name and SYSTEMS.get(name) is self.system:
+            state["system"] = _RegistryRef(name)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if isinstance(self.system, _RegistryRef):
+            self.system = get_system(self.system.name)
+
+
 class System:
     """Uniform stage contract one classifier family implements.
 
@@ -72,11 +119,12 @@ class System:
     def program_factory(self, model, rules: RuleSet | None, spec: ExperimentSpec):
         """Zero-argument factory of fresh programs for the serving layer.
 
-        The sharded engine (:class:`repro.serve.ShardedEngine`) builds one
-        program per shard through this, so register state is never shared
-        across shards.
+        The sharded engines build one program per shard/worker through
+        this, so register state is never shared across shards.  Returns a
+        picklable :class:`ProgramFactory` so the process-sharded engine
+        works under every start method (including ``spawn``).
         """
-        return lambda: self.build_program(model, rules, spec)
+        return ProgramFactory(self, model, rules, spec)
 
     def resources(
         self, model, rules: RuleSet | None, spec: ExperimentSpec

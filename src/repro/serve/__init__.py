@@ -1,10 +1,11 @@
-"""Streaming inference engines: sessions, micro-batches, shards.
+"""Streaming inference engines: sessions, micro-batches, shards, processes.
 
 This package is the serving surface of a deployed model — the counterpart,
 for live traffic, of the one-shot :func:`repro.dataplane.replay_dataset`
 (which is itself implemented as an ingest-everything-then-drain adapter over
 these engines).  See :mod:`repro.serve.engine` for the protocol and
-``docs/serving.md`` for the full contract.
+``docs/serving.md`` for the full contract; ``docs/performance.md`` explains
+when to pick which engine.
 
 Example::
 
@@ -29,9 +30,12 @@ from repro.serve.engine import (
     EngineStats,
     InferenceEngine,
     ServeError,
+    channel_aggregate,
+    merge_channel_aggregates,
     merged_recirculation_stats,
 )
 from repro.serve.microbatch import MicroBatchEngine
+from repro.serve.process_sharded import ProcessShardedEngine
 from repro.serve.sharded import ShardedEngine
 from repro.serve.streaming import StreamingEngine
 
@@ -41,6 +45,8 @@ def create_engine(
     *,
     engine: str = "microbatch",
     shards: int = 2,
+    workers: int = 4,
+    spawn_method: str | None = None,
     chunk_size: int = 256,
     backpressure: int = DEFAULT_BACKPRESSURE,
     flush_flows: int = DEFAULT_FLUSH_FLOWS,
@@ -48,16 +54,22 @@ def create_engine(
     """Build a (not yet opened) engine from declarative serving settings.
 
     This is what ``ExperimentSpec.serve`` resolves through: ``engine`` picks
-    the implementation, ``shards`` sizes the sharded engine, and
-    ``backpressure``/``chunk_size`` bound the buffered work (for the sharded
-    engine the queue depth is ``backpressure // chunk_size`` chunks).
+    the implementation, ``shards``/``workers`` size the thread-/process-
+    sharded engines, and ``backpressure``/``chunk_size`` bound the buffered
+    work (for both sharded engines the per-shard queue depth is
+    ``backpressure // chunk_size`` chunks).
 
     Args:
         program_factory: Zero-argument callable building a fresh data-plane
             program; called once for the single-program engines and once per
-            shard for ``"sharded"``.
+            shard/worker for the sharded engines.  For ``"sharded-mp"`` the
+            factory must be picklable under every start method (use
+            :class:`repro.pipeline.systems.ProgramFactory`, not a lambda).
         engine: One of :data:`SERVE_ENGINES`.
-        shards: Shard count (sharded engine only).
+        shards: Thread-shard count (``"sharded"`` only).
+        workers: Worker-process count (``"sharded-mp"`` only).
+        spawn_method: Process start method for ``"sharded-mp"``
+            (``None`` = the platform default).
         chunk_size: Expected ingest chunk size (used to size shard queues).
         backpressure: Buffered-packet limit.
         flush_flows: Eager-flush threshold of the micro-batch engine(s).
@@ -74,11 +86,20 @@ def create_engine(
         return MicroBatchEngine(
             program_factory(), flush_flows=flush_flows, backpressure=backpressure
         )
+    queue_depth = max(1, backpressure // max(chunk_size, 1))
     if engine == "sharded":
-        queue_depth = max(1, backpressure // max(chunk_size, 1))
         return ShardedEngine(
             program_factory,
             n_shards=shards,
+            queue_depth=queue_depth,
+            flush_flows=flush_flows,
+            backpressure=backpressure,
+        )
+    if engine == "sharded-mp":
+        return ProcessShardedEngine(
+            program_factory,
+            workers=workers,
+            start_method=spawn_method,
             queue_depth=queue_depth,
             flush_flows=flush_flows,
             backpressure=backpressure,
@@ -93,10 +114,13 @@ __all__ = [
     "EngineStats",
     "InferenceEngine",
     "MicroBatchEngine",
+    "ProcessShardedEngine",
     "SERVE_ENGINES",
     "ServeError",
     "ShardedEngine",
     "StreamingEngine",
+    "channel_aggregate",
     "create_engine",
+    "merge_channel_aggregates",
     "merged_recirculation_stats",
 ]

@@ -34,8 +34,13 @@ Concrete engines:
   the vectorized window machinery; completed flows are flushed eagerly in
   micro-batches, the remainder at ``drain``.
 * :class:`~repro.serve.sharded.ShardedEngine` — partitions flows by their
-  CRC32 register slot across worker shards so disjoint-slot flows advance in
-  parallel; collision flows stay co-sharded, preserving hardware semantics.
+  CRC32 register slot across worker *threads* so disjoint-slot flows advance
+  in parallel; collision flows stay co-sharded, preserving hardware
+  semantics.  Bounded by the GIL: parallelism overlaps only the NumPy
+  kernels, not the Python control flow.
+* :class:`~repro.serve.process_sharded.ProcessShardedEngine` — the same
+  partitioning across worker *processes* over a shared-memory packet source;
+  the multi-core top of the ladder (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -51,7 +56,7 @@ from repro.datasets.streams import PacketChunk
 
 #: Engine names accepted by :func:`repro.serve.create_engine` (and by
 #: ``ServeConfig.engine`` / ``python -m repro serve --serve-engine``).
-SERVE_ENGINES = ("streaming", "microbatch", "sharded")
+SERVE_ENGINES = ("streaming", "microbatch", "sharded", "sharded-mp")
 
 #: Default eager-flush threshold of the micro-batch engine (flows).
 DEFAULT_FLUSH_FLOWS = 8
@@ -73,7 +78,7 @@ class EngineStats:
     """Rolling statistics of one serving session.
 
     Attributes:
-        engine: Engine name (``"streaming"`` / ``"microbatch"`` / ``"sharded"``).
+        engine: Engine name (one of :data:`SERVE_ENGINES`).
         packets: Packets ingested so far.
         chunks: Chunks ingested so far.
         flows_seen: Distinct flows with at least one ingested packet.
@@ -97,14 +102,65 @@ class EngineStats:
     recirculation: dict[str, float] = field(default_factory=dict)
 
 
+def channel_aggregate(program) -> tuple | None:
+    """The order-insensitive recirculation counters of one program.
+
+    Returns ``(packets, bytes, first_timestamp, last_timestamp,
+    capacity_bps)`` — a plain (picklable) tuple the process-sharded engine
+    ships across its result queue — or ``None`` when the program has no
+    recirculation channel.
+    """
+    if not hasattr(program, "recirculation_stats"):
+        return None
+    channel = program.pipeline.recirculation
+    return (
+        channel.packets_recirculated,
+        channel.bytes_recirculated,
+        channel.first_timestamp,
+        channel.last_timestamp,
+        channel.capacity_bps,
+    )
+
+
+def merge_channel_aggregates(aggregates) -> dict[str, float]:
+    """Merge per-shard :func:`channel_aggregate` tuples bit-exactly.
+
+    The counters are order-insensitive aggregates (packet/byte totals plus
+    the min/max of the submission interval), so the union over shard-local
+    channels equals what a single channel observing all submissions would
+    have reported — including the derived mean bandwidth and utilisation.
+    """
+    aggregates = [a for a in aggregates if a is not None]
+    if not aggregates:
+        return {}
+    packets = sum(a[0] for a in aggregates)
+    total_bytes = sum(a[1] for a in aggregates)
+    firsts = [a[2] for a in aggregates if a[2] is not None]
+    lasts = [a[3] for a in aggregates if a[3] is not None]
+    if firsts:
+        interval = max(lasts) - min(firsts)
+        if interval <= 0:
+            interval = 1e-6
+        mean_bps = total_bytes * 8 / interval
+    else:
+        mean_bps = 0.0
+    capacity = aggregates[0][4]
+    return {
+        "packets": float(packets),
+        "bytes": float(total_bytes),
+        "mean_bps": mean_bps,
+        "utilisation": mean_bps / capacity if capacity > 0 else 0.0,
+    }
+
+
 def merged_recirculation_stats(programs) -> dict[str, float]:
     """Recirculation statistics of many programs, merged bit-exactly.
 
-    The channel's counters are order-insensitive aggregates (packet/byte
-    totals plus the min/max of the submission interval), so the union over
-    shard-local channels equals what a single channel observing all
-    submissions would have reported — including the derived mean bandwidth
-    and utilisation.
+    Thin wrapper over :func:`merge_channel_aggregates` for in-process
+    engines that hold their shard programs directly (the thread-sharded
+    engine); the process-sharded engine feeds the same merge from aggregates
+    its workers report over the result queue, so both produce identical
+    numbers.
 
     Example::
 
@@ -113,31 +169,7 @@ def merged_recirculation_stats(programs) -> dict[str, float]:
         ...                          for s in shards)
         True
     """
-    channels = [
-        program.pipeline.recirculation
-        for program in programs
-        if hasattr(program, "recirculation_stats")
-    ]
-    if not channels:
-        return {}
-    packets = sum(channel.packets_recirculated for channel in channels)
-    total_bytes = sum(channel.bytes_recirculated for channel in channels)
-    firsts = [c.first_timestamp for c in channels if c.first_timestamp is not None]
-    lasts = [c.last_timestamp for c in channels if c.last_timestamp is not None]
-    if firsts:
-        interval = max(lasts) - min(firsts)
-        if interval <= 0:
-            interval = 1e-6
-        mean_bps = total_bytes * 8 / interval
-    else:
-        mean_bps = 0.0
-    capacity = channels[0].capacity_bps
-    return {
-        "packets": float(packets),
-        "bytes": float(total_bytes),
-        "mean_bps": mean_bps,
-        "utilisation": mean_bps / capacity if capacity > 0 else 0.0,
-    }
+    return merge_channel_aggregates(channel_aggregate(program) for program in programs)
 
 
 class InferenceEngine(abc.ABC):
@@ -170,7 +202,13 @@ class InferenceEngine(abc.ABC):
     # Lifecycle
     # ------------------------------------------------------------------
     def open(self) -> "InferenceEngine":
-        """Start a serving session; must precede the first ``ingest``."""
+        """Start a serving session; must precede the first ``ingest``.
+
+        Non-blocking for every engine (the sharded engines defer any
+        expensive per-shard setup to the first ``ingest``, when the packet
+        source is known).  An engine opens exactly once; re-opening raises
+        :class:`ServeError`.
+        """
         if self._state != "created":
             raise ServeError(f"cannot open() an engine in state {self._state!r}")
         self._state = "open"
@@ -178,14 +216,32 @@ class InferenceEngine(abc.ABC):
         return self
 
     def ingest(self, chunk: PacketChunk) -> None:
-        """Consume one time-ordered chunk of the packet stream."""
+        """Consume one time-ordered chunk of the packet stream.
+
+        Ordering contract: chunks of one session must reference a single
+        :class:`~repro.datasets.flows.PacketArrays` source and their
+        concatenated positions must be non-decreasing in timestamp — both
+        are validated here and violations raise :class:`ServeError`.
+
+        Blocking/backpressure contract: the single-program engines return
+        as soon as the chunk is buffered/processed and raise
+        :class:`BackpressureError` past their buffered-packet limit; the
+        sharded engines instead *block* while a shard's bounded queue is
+        full (real flow control).  See each engine's class docstring.
+        """
         if self._state != "open":
             raise ServeError(f"cannot ingest() in state {self._state!r}; call open() first")
         self._register_chunk(chunk)
         self._ingest(chunk)
 
     def drain(self) -> None:
-        """End of stream: flush all buffered work through the program."""
+        """End of stream: flush all buffered work through the program.
+
+        Blocks until every buffered packet has been pushed through the
+        program (and, for the sharded engines, until every shard has
+        acknowledged the flush).  Idempotent; ingesting afterwards raises
+        :class:`ServeError`.
+        """
         if self._state == "drained":
             return
         if self._state != "open":
@@ -194,7 +250,14 @@ class InferenceEngine(abc.ABC):
         self._state = "drained"
 
     def close(self) -> ReplayResult:
-        """Drain if needed, finalise, and return the full replay result."""
+        """Drain if needed, finalise, and return the full replay result.
+
+        Blocks for the implicit drain, releases every engine resource
+        (worker threads/processes, queues, shared-memory segments), and is
+        idempotent — a second ``close()`` returns the same
+        :class:`~repro.dataplane.ReplayResult` object without touching the
+        shards again.
+        """
         if self._state == "closed":
             return self._result
         if self._state == "created":
@@ -226,14 +289,25 @@ class InferenceEngine(abc.ABC):
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def verdicts(self) -> dict:
-        """Snapshot of the verdicts recorded so far, keyed by flow id."""
+        """Snapshot of the verdicts recorded so far, keyed by flow id.
+
+        Safe to call at any point of the lifecycle; monotone (a verdict
+        never disappears between calls).  The process-sharded engine pays a
+        synchronous per-worker round-trip while the stream is open — see
+        its override.
+        """
 
     def recirculation_stats(self) -> dict[str, float]:
         """Recirculation counters so far (empty without a recirc channel)."""
         return {}
 
     def stats(self) -> EngineStats:
-        """Rolling statistics of the session (cheap; absorbs new verdicts)."""
+        """Rolling statistics of the session (absorbs new verdicts).
+
+        Cheap for the in-process engines; for the process-sharded engine it
+        costs one snapshot round-trip per worker while the stream is open,
+        so call it per progress interval, not per packet.
+        """
         verdicts = self.verdicts()
         for flow_id, verdict in verdicts.items():
             if flow_id in self._scored:

@@ -100,9 +100,15 @@ class MicroBatchEngine(InferenceEngine):
         self._complete_unflushed = 0
 
     def verdicts(self) -> dict:
+        """The program's live verdict dict (non-blocking snapshot).
+
+        A flow's verdict appears when the flush containing its boundary
+        packet runs — eagerly mid-stream, or at ``drain`` for the rest.
+        """
         return self.program.verdicts
 
     def recirculation_stats(self) -> dict[str, float]:
+        """The program's recirculation counters (empty without a channel)."""
         if hasattr(self.program, "recirculation_stats"):
             return self.program.recirculation_stats()
         return {}

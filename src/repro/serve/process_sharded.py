@@ -1,0 +1,549 @@
+"""Process-sharded engine: true multi-core serving over shared memory.
+
+:class:`~repro.serve.sharded.ShardedEngine` proves that CRC32 register-slot
+partitioning makes shards independent — but its workers are *threads*, so
+the Python GIL caps the whole session at roughly one core no matter how many
+shards are configured.  This module lifts the same partitioning onto worker
+**processes**:
+
+* the structure-of-arrays packet source is placed once into a
+  :class:`~repro.datasets.shm.SharedPacketArrays` segment; every worker
+  attaches zero-copy NumPy views over the same pages;
+* per-chunk messages carry only packet *positions* (``intp`` indices into
+  the shared columns) through a bounded queue per worker — no packet payload
+  is ever pickled per chunk;
+* each worker owns a fresh program instance (its own register file and
+  recirculation channel) plus a child engine, exactly like a thread shard;
+* verdicts are merged by globally unique flow id and recirculation counters
+  by :func:`repro.serve.engine.merge_channel_aggregates`, so the merged
+  result is **bit-identical** to the thread-sharded and reference engines.
+
+Because flows that share a register slot land on the same worker by
+construction (``slot % workers``), hash-collision corruption is reproduced
+bit-exactly — the parity suite runs this engine against the reference
+interpreter at 64-slot collision pressure.
+
+Teardown is crash-safe: the parent owns the shared segment and unlinks it on
+``close()``, on any failure path, and from a ``weakref.finalize`` guard, so
+a worker crash mid-stream cannot leak ``/dev/shm`` segments.  A dead worker
+is detected on the next ``ingest``/``drain``/``stats`` call and surfaces as
+a :class:`~repro.serve.engine.ServeError` after cleanup.
+
+Start methods: ``None`` follows the platform default — ``"fork"`` on Linux
+(inherits the parent's imports cheaply), ``"spawn"`` on macOS/Windows;
+``"spawn"``/``"forkserver"`` re-import the package per worker.  Under every start method the program factory — and everything it
+references — must be picklable, because it is shipped through the bind
+message (the pipeline's :class:`repro.pipeline.systems.ProgramFactory` is;
+lambdas and closures are rejected with an actionable error).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import traceback
+import weakref
+
+import numpy as np
+
+from repro.datasets.shm import SharedArraysLayout, SharedPacketArrays
+from repro.datasets.streams import PacketChunk
+from repro.serve.engine import (
+    InferenceEngine,
+    ServeError,
+    channel_aggregate,
+    merge_channel_aggregates,
+)
+
+#: Start methods accepted by :class:`ProcessShardedEngine` (``None`` = pick).
+START_METHODS = (None, "fork", "spawn", "forkserver")
+
+#: Seconds to wait for a worker to build its program and report ready.
+_READY_TIMEOUT = 300.0
+
+#: Poll interval (seconds) for queue operations that must watch liveness.
+_POLL = 0.2
+
+
+def _snapshot_payload(engine, program, reported: set) -> dict:
+    """What a worker reports about its shard: *new* verdicts + raw counters.
+
+    Only verdicts not yet shipped cross the result queue (the parent merges
+    cumulatively), so frequent observation — ``stats()`` every chunk, the
+    CLI's ``--digests`` — stays linear in decided flows instead of
+    quadratic.
+    """
+    verdicts = engine.verdicts()
+    fresh = {
+        flow_id: verdict
+        for flow_id, verdict in verdicts.items()
+        if flow_id not in reported
+    }
+    reported.update(fresh)
+    return {
+        "verdicts": fresh,
+        "recirculation": channel_aggregate(program),
+        "buffered": engine._buffered_packet_count(),
+    }
+
+
+def _worker_main(
+    index: int,
+    child_engine: str,
+    flush_flows: int | None,
+    backpressure: int | None,
+    tasks,
+    results,
+) -> None:
+    """Worker process body: attach shared views, run a child engine, reply.
+
+    The first message must be ``("bind", payload)`` where ``payload`` is the
+    parent's pre-pickled ``(program_factory, layout, flows)`` blob:
+    everything heavyweight travels through the task queue rather than the
+    ``Process`` args, because a large args pickle is written synchronously
+    by ``process.start()`` — the parent would block forever in ``start()``
+    if a worker died mid-unpickle (the parent still holds the arg pipe's
+    read end, so the write never sees EOF).  Queue puts go through a daemon
+    feeder thread, keeping the parent responsive for liveness checks; the
+    payload is pickled *once*, eagerly, on the caller's thread, so an
+    unpicklable factory fails loudly instead of vanishing in the feeder.
+
+    The loop then consumes ``("seed", slots)`` / ``("chunk", positions)`` /
+    ``("drain",)`` / ``("snapshot",)`` / ``("stop",)`` messages.  After any
+    failure it keeps consuming (and discarding) messages until ``stop`` so
+    the parent's bounded-queue puts can never deadlock against a wedged
+    shard; the failure itself travels back as an ``("error", index, trace)``
+    message.
+    """
+    from repro.serve.microbatch import MicroBatchEngine
+    from repro.serve.streaming import StreamingEngine
+
+    shared = None
+    engine = None
+    try:
+        message = tasks.get()
+        if message[0] != "bind":
+            return  # torn down before binding (parent sent "stop")
+        import pickle
+
+        program_factory, layout, flows = pickle.loads(message[1])
+        shared = SharedPacketArrays.attach(layout)
+        soa = shared.arrays
+        program = program_factory()
+        if program is None:
+            raise ServeError("program_factory returned None")
+        if child_engine == "streaming":
+            engine = StreamingEngine(program)
+        else:
+            kwargs = {}
+            if flush_flows is not None:
+                kwargs["flush_flows"] = flush_flows
+            if backpressure is not None:
+                kwargs["backpressure"] = backpressure
+            engine = MicroBatchEngine(program, **kwargs)
+        engine.open()
+        results.put(("ready", index, program.indexer.table_size))
+    except BaseException:
+        results.put(("error", index, traceback.format_exc()))
+        _consume_until_stop(tasks)
+        if shared is not None:
+            shared.close()
+        return
+
+    failed = False
+    reported: set = set()
+    while True:
+        message = tasks.get()
+        kind = message[0]
+        try:
+            if kind == "stop":
+                break
+            if failed:
+                if kind in ("drain", "snapshot"):
+                    results.put(("error", index, "worker already failed"))
+                continue
+            if kind == "seed":
+                if hasattr(engine, "seed_slots"):
+                    engine.seed_slots(message[1])
+            elif kind == "chunk":
+                engine.ingest(PacketChunk(soa=soa, flows=flows, positions=message[1]))
+            elif kind == "drain":
+                engine.drain()
+                results.put(("drained", index, _snapshot_payload(engine, program, reported)))
+            elif kind == "snapshot":
+                results.put(("snapshot", index, _snapshot_payload(engine, program, reported)))
+        except BaseException:
+            failed = True
+            results.put(("error", index, traceback.format_exc()))
+    del engine  # drop chunk/soa references so the shared mapping can unmap
+    shared.close()
+
+
+def _consume_until_stop(tasks) -> None:
+    """Discard queued work so the parent's bounded puts cannot deadlock."""
+    while True:
+        try:
+            if tasks.get(timeout=60.0)[0] == "stop":
+                return
+        except queue_module.Empty:
+            return
+
+
+def _release_resources(processes, queues, shared) -> None:
+    """GC/crash guard shared by ``weakref.finalize`` and ``_cleanup``."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            process.kill()
+            process.join(timeout=5.0)
+    for q in queues:
+        try:
+            q.close()
+            q.cancel_join_thread()
+        except Exception:
+            pass
+    if shared is not None:
+        shared.unlink()
+        shared.close()
+
+
+class ProcessShardedEngine(InferenceEngine):
+    """Partitions flows by CRC32 register slot across worker *processes*.
+
+    The multi-core top of the engine ladder: same slot partitioning and
+    bit-exact merging as :class:`~repro.serve.sharded.ShardedEngine`, but
+    each shard runs in its own interpreter, so throughput scales with cores
+    instead of saturating the GIL.  Packet columns are shared (one
+    shared-memory segment, zero-copy worker views); only positions cross
+    the process boundary per chunk.
+
+    Args:
+        program_factory: Zero-argument callable building a *fresh* program;
+            called once per worker, inside the worker process.  Must be
+            picklable under every start method (use
+            :class:`repro.pipeline.systems.ProgramFactory`, not a lambda).
+        workers: Worker process count (>= 1).
+        start_method: ``"fork"``, ``"spawn"``, ``"forkserver"`` or ``None``
+            (the platform's multiprocessing default: fork on Linux, spawn
+            on macOS/Windows).
+        child_engine: Engine each worker runs (``"microbatch"`` or
+            ``"streaming"``).
+        queue_depth: Chunks a worker may buffer before ``ingest`` blocks.
+        flush_flows: Eager-flush threshold of micro-batch children.
+        backpressure: Buffered-packet limit of micro-batch children.
+
+    Example::
+
+        >>> from repro.serve import ProcessShardedEngine
+        >>> engine = ProcessShardedEngine(factory, workers=4)
+        >>> with engine:
+        ...     for chunk in iter_packet_chunks(dataset, 2048):
+        ...         engine.ingest(chunk)
+        >>> engine.result().report.f1_score  # doctest: +SKIP
+        0.87
+    """
+
+    name = "sharded-mp"
+
+    def __init__(
+        self,
+        program_factory,
+        *,
+        workers: int = 4,
+        start_method: str | None = None,
+        child_engine: str = "microbatch",
+        queue_depth: int = 64,
+        flush_flows: int | None = None,
+        backpressure: int | None = None,
+    ) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if child_engine not in ("microbatch", "streaming"):
+            raise ServeError(
+                f"unknown child engine {child_engine!r}; "
+                "expected 'microbatch' or 'streaming'"
+            )
+        if queue_depth < 1:
+            raise ServeError(f"queue_depth must be >= 1, got {queue_depth}")
+        if start_method not in START_METHODS:
+            raise ServeError(
+                f"unknown start method {start_method!r}; expected one of {START_METHODS}"
+            )
+        if start_method is not None and start_method not in multiprocessing.get_all_start_methods():
+            raise ServeError(
+                f"start method {start_method!r} is not available on this platform"
+            )
+        self.program_factory = program_factory
+        self.workers = workers
+        self.start_method = start_method
+        self.child_engine = child_engine
+        self.queue_depth = queue_depth
+        self.flush_flows = flush_flows
+        self.child_backpressure = backpressure
+
+        self._ctx = None
+        self._processes: list = []
+        self._task_queues: list = []
+        self._results = None
+        self._shared: SharedPacketArrays | None = None
+        self._shard_of_flow: np.ndarray | None = None
+        self._merged_verdicts: dict = {}
+        self._aggregates: dict[int, tuple | None] = {}
+        self._buffered: dict[int, int] = {}
+        #: Responses consumed outside their _collect round (see _check_failures).
+        self._stray: dict[str, set[int]] = {"snapshot": set(), "drained": set()}
+        self._final = False
+        self._cleaned = False
+        self._finalizer = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def _on_open(self) -> None:
+        # start_method None defers to the *platform default* (fork on Linux,
+        # spawn on macOS/Windows) — not "fork wherever it exists": macOS
+        # lists fork as available but made spawn its default because forking
+        # a process that touched the system frameworks is unsafe there.
+        self._ctx = multiprocessing.get_context(self.start_method)
+
+    def _start_workers(self) -> None:
+        """First-chunk setup: share the source, fork/spawn and seed workers.
+
+        Blocks until every worker has built its program and attached the
+        shared segment (so a broken factory fails the ``ingest`` that
+        triggered the start, not some later call).
+        """
+        self._shared = SharedPacketArrays.create(self._soa)
+        self._results = self._ctx.Queue()
+        for index in range(self.workers):
+            tasks = self._ctx.Queue(maxsize=self.queue_depth)
+            process = self._ctx.Process(
+                target=_worker_main,
+                name=f"serve-mp-shard-{index}",
+                args=(
+                    index,
+                    self.child_engine,
+                    self.flush_flows,
+                    self.child_backpressure,
+                    tasks,
+                    self._results,
+                ),
+                daemon=True,
+            )
+            self._task_queues.append(tasks)
+            self._processes.append(process)
+        self._finalizer = weakref.finalize(
+            self, _release_resources, self._processes,
+            [*self._task_queues, self._results], self._shared,
+        )
+        for process in self._processes:
+            process.start()
+        # One pickle pass for all workers — and an eager, actionable error
+        # for unpicklable factories (queue items are otherwise pickled on a
+        # background feeder thread, where a failure would be invisible).
+        import pickle
+
+        try:
+            payload = pickle.dumps(
+                (self.program_factory, self._shared.layout, self._flows),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as exc:
+            self._fail(
+                "program_factory (and everything it references) must be "
+                "picklable — use repro.pipeline.systems.ProgramFactory or a "
+                f"module-level callable, not a lambda/closure: {exc}"
+            )
+        for shard in range(self.workers):
+            self._put(shard, ("bind", payload))
+
+        table_sizes: dict[int, int] = {}
+        deadline = _READY_TIMEOUT
+        while len(table_sizes) < self.workers:
+            message = self._next_result(timeout=deadline, waiting_for="worker startup")
+            if message[0] == "ready":
+                table_sizes[message[1]] = message[2]
+            elif message[0] == "error":
+                self._fail(f"worker {message[1]} failed during startup:\n{message[2]}")
+        if len(set(table_sizes.values())) > 1:
+            self._fail(
+                "all shard programs must share one register table size "
+                f"(got {sorted(set(table_sizes.values()))})"
+            )
+        from repro.switch.hashing import flow_slots
+
+        slots = flow_slots(self._flows, next(iter(table_sizes.values())))
+        self._shard_of_flow = (slots % self.workers).astype(np.intp)
+        for shard in range(self.workers):
+            self._put(shard, ("seed", slots))
+
+    def _ingest(self, chunk: PacketChunk) -> None:
+        if self._shard_of_flow is None:
+            self._start_workers()
+        self._check_failures()
+        positions = chunk.positions
+        if positions.size == 0:
+            return
+        shard_of_packet = self._shard_of_flow[self._soa.packet_flow[positions]]
+        for shard in range(self.workers):
+            sub = positions[shard_of_packet == shard]
+            if sub.size:
+                self._put(shard, ("chunk", sub))
+
+    def _drain(self) -> None:
+        if self._shard_of_flow is None:
+            self._final = True
+            return
+        self._check_failures()
+        for shard in range(self.workers):
+            self._put(shard, ("drain",))
+        self._collect("drained")
+        self._final = True
+
+    def _on_close(self) -> None:
+        self._cleanup()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._cleanup()
+
+    # ------------------------------------------------------------------
+    # Worker plumbing
+    # ------------------------------------------------------------------
+    def _put(self, shard: int, message) -> None:
+        """Enqueue one message with real flow control and liveness checks.
+
+        Blocks while the shard's bounded queue is full (that *is* the
+        backpressure of this engine) but never deadlocks against a dead
+        worker: each poll re-checks the process and fails the session if it
+        exited.
+        """
+        tasks = self._task_queues[shard]
+        while True:
+            try:
+                tasks.put(message, timeout=_POLL)
+                return
+            except queue_module.Full:
+                self._check_failures()
+
+    def _next_result(self, *, timeout: float, waiting_for: str):
+        """One message off the shared result queue, watching worker liveness."""
+        waited = 0.0
+        while True:
+            try:
+                return self._results.get(timeout=_POLL)
+            except queue_module.Empty:
+                waited += _POLL
+                self._check_liveness()
+                if waited >= timeout:
+                    self._fail(f"timed out after {timeout:.0f}s waiting for {waiting_for}")
+
+    def _collect(self, kind: str) -> None:
+        """Gather one ``kind`` response per worker, folding in its payload.
+
+        Responses that were already drained off the queue by
+        :meth:`_check_failures` (while a ``_put`` was blocked on a full
+        queue) count via the stray set, so nothing is waited for twice.
+        """
+        pending = set(range(self.workers)) - self._stray[kind]
+        self._stray[kind].clear()
+        while pending:
+            message = self._next_result(timeout=_READY_TIMEOUT, waiting_for=f"{kind} responses")
+            if message[0] == "error":
+                self._fail(f"worker {message[1]} failed:\n{message[2]}")
+            if message[0] == kind:
+                pending.discard(message[1])
+                self._absorb(message[1], message[2])
+
+    def _absorb(self, shard: int, payload: dict) -> None:
+        self._merged_verdicts.update(payload["verdicts"])
+        self._aggregates[shard] = payload["recirculation"]
+        self._buffered[shard] = payload["buffered"]
+
+    def _check_liveness(self) -> None:
+        for process in self._processes:
+            if process.exitcode is not None and not self._cleaned:
+                self._fail(
+                    f"worker {process.name} exited with code {process.exitcode} "
+                    "while the session was open"
+                )
+
+    def _check_failures(self) -> None:
+        """Surface asynchronous worker errors/deaths on the caller's thread."""
+        if self._cleaned:
+            raise ServeError("serving session was torn down after a failure")
+        while True:
+            try:
+                message = self._results.get_nowait()
+            except queue_module.Empty:
+                break
+            if message[0] == "error":
+                self._fail(f"worker {message[1]} failed:\n{message[2]}")
+            if message[0] in ("snapshot", "drained"):
+                self._stray[message[0]].add(message[1])
+                self._absorb(message[1], message[2])
+        self._check_liveness()
+
+    def _fail(self, reason: str) -> None:
+        self._cleanup()
+        raise ServeError(reason)
+
+    def _cleanup(self) -> None:
+        """Stop workers, release queues, unlink the shared segment (idempotent)."""
+        if self._cleaned:
+            return
+        self._cleaned = True
+        for process, tasks in zip(self._processes, self._task_queues):
+            try:
+                tasks.put_nowait(("stop",))
+            except Exception:
+                # Bounded queue full (the backpressure failure path): the
+                # stop can never be delivered, so don't stall a join on it.
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)
+        all_queues = list(self._task_queues)
+        if self._results is not None:
+            all_queues.append(self._results)
+        _release_resources(self._processes, all_queues, self._shared)
+        if self._finalizer is not None:
+            self._finalizer.detach()
+
+    # ------------------------------------------------------------------
+    # Observation (merged over workers)
+    # ------------------------------------------------------------------
+    def verdicts(self) -> dict:
+        """Merged verdict snapshot, keyed by globally unique flow id.
+
+        While the stream is open this performs one synchronous
+        snapshot round-trip per worker (so it observes every verdict already
+        recorded shard-side); after ``drain`` it returns the final merged
+        state without touching the workers.
+        """
+        if self._final or self._shard_of_flow is None or self._cleaned:
+            return dict(self._merged_verdicts)
+        self._check_failures()
+        for shard in range(self.workers):
+            self._put(shard, ("snapshot",))
+        self._collect("snapshot")
+        return dict(self._merged_verdicts)
+
+    def recirculation_stats(self) -> dict[str, float]:
+        """Recirculation counters merged over the workers' channels.
+
+        Uses the aggregates captured by the most recent snapshot or drain
+        (``stats()`` refreshes them via :meth:`verdicts` immediately before
+        calling this), merged bit-identically to the thread-sharded engine.
+        """
+        return merge_channel_aggregates(
+            self._aggregates.get(shard) for shard in range(self.workers)
+        )
+
+    def _buffered_packet_count(self) -> int:
+        return sum(self._buffered.values())

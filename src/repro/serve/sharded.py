@@ -16,6 +16,13 @@ recirculation counters are order-insensitive aggregates combined by
 
 Backpressure is real flow control here: each shard queue holds at most
 ``queue_depth`` chunks and ``ingest`` blocks once a shard falls behind.
+
+GIL caveat: shards are *threads*, so only the NumPy kernels inside the
+child engines overlap — the Python control flow serialises on the GIL and
+aggregate throughput tops out near one core regardless of ``n_shards``.
+For multi-core scaling use
+:class:`~repro.serve.process_sharded.ProcessShardedEngine`, which runs the
+identical partitioning across worker processes.
 """
 
 from __future__ import annotations
@@ -67,6 +74,11 @@ class _Shard:
 
 class ShardedEngine(InferenceEngine):
     """Partitions flows by CRC32 register slot across parallel worker shards.
+
+    Worker shards are **threads**: sharding hides the latency of the NumPy
+    kernels but the Python control flow still serialises on the GIL (see the
+    module docstring; :class:`~repro.serve.process_sharded.ProcessShardedEngine`
+    is the multi-core variant).
 
     Args:
         program_factory: Zero-argument callable building a *fresh* program;
@@ -194,12 +206,19 @@ class ShardedEngine(InferenceEngine):
     # Observation (merged over shards)
     # ------------------------------------------------------------------
     def verdicts(self) -> dict:
+        """Union of the shard engines' verdicts (flow ids are globally unique).
+
+        Non-blocking: reads each shard's live verdict dict without waiting
+        for queued chunks, so a verdict appears as soon as its shard records
+        it.
+        """
         merged: dict = {}
         for shard in self._shards:
             merged.update(shard.engine.verdicts())
         return merged
 
     def recirculation_stats(self) -> dict[str, float]:
+        """Shard programs' recirculation counters, merged bit-exactly."""
         return merged_recirculation_stats(
             [shard.engine.program for shard in self._shards]
         )

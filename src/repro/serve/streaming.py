@@ -38,9 +38,15 @@ class StreamingEngine(InferenceEngine):
         self.program = program
 
     def verdicts(self) -> dict:
+        """The program's live verdict dict (non-blocking snapshot).
+
+        Per-packet execution means a verdict is visible immediately after
+        the ``ingest`` call that carried its boundary packet returns.
+        """
         return self.program.verdicts
 
     def recirculation_stats(self) -> dict[str, float]:
+        """The program's recirculation counters (empty without a channel)."""
         if hasattr(self.program, "recirculation_stats"):
             return self.program.recirculation_stats()
         return {}

@@ -106,7 +106,7 @@ def test_serve_smoke():
         "serve", *FAST_RUN, "--serve-engine", "sharded", "--shards", "2",
         "--chunk-size", "64", "--progress-every", "16", "--digests",
     )
-    assert "sharded engine, 2 shards" in process.stdout
+    assert "sharded engine, 2 thread shards" in process.stdout
     assert "stream complete" in process.stdout
     assert "digest  flow" in process.stdout
     (decided_line,) = [line for line in process.stdout.splitlines()
@@ -129,3 +129,15 @@ def test_serve_matches_replay_f1():
 def test_serve_rejects_systems_without_programs():
     process = run_cli("serve", *FAST_RUN, "--system", "per_packet", expect_code=2)
     assert "no data-plane program" in process.stderr
+
+
+def test_serve_sharded_mp_smoke():
+    process = run_cli(
+        "serve", *FAST_RUN, "--serve-engine", "sharded-mp", "--workers", "2",
+        "--chunk-size", "64", "--progress-every", "0",
+    )
+    assert "sharded-mp engine, 2 worker processes" in process.stdout
+    assert "stream complete" in process.stdout
+    (decided_line,) = [line for line in process.stdout.splitlines()
+                       if line.startswith("flows decided")]
+    assert "/80" in decided_line and "data-plane F1" in decided_line

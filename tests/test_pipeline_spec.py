@@ -135,10 +135,30 @@ class TestServeConfig:
         )
         payload = json.loads(json.dumps(spec.to_dict()))
         assert payload["serve"] == {"engine": "sharded", "shards": 4,
+                                    "workers": 4, "spawn_method": None,
                                     "chunk_size": 128, "backpressure": 4096}
         restored = ExperimentSpec.from_dict(payload)
         assert restored == spec
         assert isinstance(restored.serve, ServeConfig)
+
+    def test_sharded_mp_serve_roundtrip(self):
+        import json
+
+        spec = ExperimentSpec(
+            serve=ServeConfig(engine="sharded-mp", workers=6, spawn_method="spawn")
+        ).validate()
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert payload["serve"]["engine"] == "sharded-mp"
+        assert payload["serve"]["workers"] == 6
+        assert payload["serve"]["spawn_method"] == "spawn"
+        restored = ExperimentSpec.from_dict(payload)
+        assert restored == spec and restored.serve.workers == 6
+
+    def test_serve_mp_validation(self):
+        with pytest.raises(SpecError, match="workers"):
+            ExperimentSpec(serve=ServeConfig(engine="sharded-mp", workers=0)).validate()
+        with pytest.raises(SpecError, match="spawn_method"):
+            ExperimentSpec(serve=ServeConfig(spawn_method="warp")).validate()
 
     def test_serve_dict_coerced_at_construction(self):
         spec = ExperimentSpec(serve={"engine": "streaming", "chunk_size": 32})

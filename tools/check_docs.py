@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Documentation checks: relative links resolve, marked snippets run.
+
+Stdlib-only so CI (and `tests/test_docs.py`) can run it anywhere:
+
+* ``--links`` — every relative markdown link in ``README.md`` and
+  ``docs/*.md`` must point at an existing file or directory (anchors are
+  stripped; external ``http(s)``/``mailto`` links are skipped — no network).
+* ``--snippets`` — every ```` ```bash ```` fence *immediately preceded* by an
+  ``<!-- docs-smoke -->`` comment is executed line by line with the
+  repository's ``src/`` on ``PYTHONPATH``, so the quickstart commands in the
+  docs cannot rot.  Backslash continuations are joined; ``#`` comments are
+  ignored.
+
+Exit code 0 when everything passes; 1 with a report otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files whose links are checked.
+LINK_FILES = ("README.md", "docs")
+
+#: Files whose marked snippets are executed.
+SNIPPET_FILES = ("docs/pipeline.md", "docs/serving.md")
+
+#: Marker that opts a fenced bash block into execution.
+SMOKE_MARKER = "<!-- docs-smoke -->"
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _markdown_files() -> list[Path]:
+    files: list[Path] = []
+    for entry in LINK_FILES:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.is_file():
+            files.append(path)
+    return files
+
+
+def check_links() -> list[str]:
+    """Broken relative links, as ``file: target`` strings."""
+    problems: list[str] = []
+    for path in _markdown_files():
+        for target in _LINK_RE.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return problems
+
+
+def _smoke_snippets(path: Path) -> list[list[str]]:
+    """The marked bash blocks of ``path``, as lists of joined command lines."""
+    lines = path.read_text().splitlines()
+    snippets: list[list[str]] = []
+    index = 0
+    while index < len(lines):
+        if lines[index].strip() == SMOKE_MARKER:
+            fence = index + 1
+            if fence < len(lines) and lines[fence].strip().startswith("```"):
+                block: list[str] = []
+                cursor = fence + 1
+                while cursor < len(lines) and not lines[cursor].strip().startswith("```"):
+                    block.append(lines[cursor])
+                    cursor += 1
+                commands: list[str] = []
+                pending = ""
+                for raw in block:
+                    line = pending + raw.strip()
+                    if line.endswith("\\"):
+                        pending = line[:-1] + " "
+                        continue
+                    pending = ""
+                    if line and not line.startswith("#"):
+                        commands.append(line)
+                if commands:
+                    snippets.append(commands)
+                index = cursor
+        index += 1
+    return snippets
+
+
+def run_snippets() -> list[str]:
+    """Execute every marked snippet; returns failures as readable strings."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    problems: list[str] = []
+    total = 0
+    for entry in SNIPPET_FILES:
+        path = REPO_ROOT / entry
+        snippets = _smoke_snippets(path)
+        if not snippets:
+            problems.append(f"{entry}: no {SMOKE_MARKER} snippets found "
+                            "(the docs-smoke coverage regressed)")
+            continue
+        for commands in snippets:
+            for command in commands:
+                total += 1
+                print(f"[docs-smoke] {entry}: {command}", flush=True)
+                try:
+                    result = subprocess.run(
+                        shlex.split(command),
+                        cwd=REPO_ROOT,
+                        env=env,
+                        capture_output=True,
+                        text=True,
+                        timeout=600,
+                    )
+                except subprocess.TimeoutExpired:
+                    problems.append(f"{entry}: `{command}` timed out after 600s")
+                    continue
+                if result.returncode != 0:
+                    problems.append(
+                        f"{entry}: `{command}` exited {result.returncode}\n"
+                        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+                    )
+    print(f"[docs-smoke] ran {total} command(s)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", action="store_true", help="check relative links")
+    parser.add_argument("--snippets", action="store_true",
+                        help="execute docs-smoke snippets")
+    args = parser.parse_args(argv)
+    if not (args.links or args.snippets):
+        args.links = True  # default: the cheap check
+
+    problems: list[str] = []
+    if args.links:
+        problems += check_links()
+    if args.snippets:
+        problems += run_snippets()
+
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        return 1
+    print("docs checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
