@@ -39,6 +39,36 @@ SID_BITS = 8
 #: Outcome codes returned by the batched classification path.
 KIND_NONE, KIND_EXIT, KIND_NEXT = 0, 1, 2
 
+#: Lookup strategies of the batched classification path: ``"lut"`` gathers
+#: from the dense mark-space tables of :mod:`repro.core.rule_lut` (with an
+#: automatic per-subtree fallback to the scan when a subtree's mark space
+#: exceeds the size cap); ``"scan"`` is the historical first-match rule scan.
+LOOKUP_MODES = ("lut", "scan")
+
+
+def group_by_sid(sids: np.ndarray):
+    """Group row indices by subtree id with one stable argsort.
+
+    Yields ``(sid, rows)`` in ascending ``sid`` order with ``rows`` in
+    original row order — the same groups an ``np.unique(sids)`` +
+    ``sids == sid`` mask loop produces, without the O(groups x rows)
+    re-scan of the full array per group.  The batched data-plane paths use
+    this to dispatch window rounds per active subtree.
+
+    Example::
+
+        >>> [(sid, rows.tolist()) for sid, rows in group_by_sid(np.array([2, 1, 2]))]
+        [(1, [1]), (2, [0, 2])]
+    """
+    sids = np.asarray(sids)
+    if sids.size == 0:
+        return
+    order = np.argsort(sids, kind="stable")
+    sorted_sids = sids[order]
+    boundaries = np.flatnonzero(sorted_sids[1:] != sorted_sids[:-1]) + 1
+    for rows in np.split(order, boundaries):
+        yield int(sids[rows[0]]), rows
+
 
 class FeatureQuantizer:
     """Maps float feature values onto the integer domain used for match keys.
@@ -92,6 +122,27 @@ class FeatureQuantizer:
         scales = self._check_fitted()
         clipped = np.clip(np.asarray(matrix, dtype=float), 0.0, scales[np.newaxis, :])
         return np.round(clipped / scales[np.newaxis, :] * self.max_level).astype(np.int64)
+
+    def quantize_columns(self, matrix: np.ndarray, columns) -> np.ndarray:
+        """Quantise only the selected feature columns of a batch.
+
+        Returns an ``(n_rows, len(columns))`` integer array, elementwise
+        identical to ``quantize_matrix(matrix)[:, columns]`` — the batched
+        lookup paths quantise just the features a subtree actually tests
+        instead of the whole feature vector.
+        """
+        scales = self._check_fitted()
+        columns = np.asarray(columns, dtype=np.intp)
+        sub_scales = scales[columns][np.newaxis, :]
+        # One column-gather copy, then in-place clip / divide / scale /
+        # round: the same operations in the same order as quantize_matrix
+        # (bit-identical results), without the four full-size temporaries.
+        out = np.asarray(matrix, dtype=float)[:, columns]
+        np.clip(out, 0.0, sub_scales, out=out)
+        np.divide(out, sub_scales, out=out)
+        np.multiply(out, self.max_level, out=out)
+        np.round(out, out=out)
+        return out.astype(np.int64)
 
 
 @dataclass
@@ -209,11 +260,45 @@ class SubtreeRuleSet:
 
 @dataclass
 class RuleSet:
-    """The compiled rule set of a whole partitioned (or one-shot) model."""
+    """The compiled rule set of a whole partitioned (or one-shot) model.
+
+    Attributes:
+        subtree_rules: Per-subtree mark tables and model rules.
+        quantizer: The fitted feature quantiser rules were generated under.
+        bit_width: Feature precision (bits) of the match keys.
+        lookup: Batched-lookup strategy (see :data:`LOOKUP_MODES`).  The
+            default ``"lut"`` compiles the dense mark-space plane lazily on
+            first use (or eagerly via :meth:`compiled_lookup`).
+        lut_max_cells: Per-subtree mark-space cap for the LUT compilation;
+            ``None`` uses :data:`repro.core.rule_lut.DEFAULT_MAX_CELLS`.
+    """
 
     subtree_rules: dict[int, SubtreeRuleSet]
     quantizer: FeatureQuantizer
     bit_width: int
+    lookup: str = "lut"
+    lut_max_cells: int | None = None
+    _compiled: object | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.lookup not in LOOKUP_MODES:
+            raise ValueError(
+                f"unknown lookup mode {self.lookup!r}; expected one of {LOOKUP_MODES}"
+            )
+
+    def __getstate__(self) -> dict:
+        # The compiled plane is derived data: drop it so pickles (run
+        # artifacts, sharded-mp workers) stay lean; consumers recompile.
+        state = dict(self.__dict__)
+        state["_compiled"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Fill the lookup fields for pickles from before the compiled plane.
+        state.setdefault("lookup", "lut")
+        state.setdefault("lut_max_cells", None)
+        state.setdefault("_compiled", None)
+        self.__dict__.update(state)
 
     @property
     def n_feature_entries(self) -> int:
@@ -249,6 +334,43 @@ class RuleSet:
         return total
 
     # ------------------------------------------------------------------
+    # Lookup-plane selection
+    # ------------------------------------------------------------------
+    def set_lookup(self, mode: str, *, max_cells: int | None = None) -> "RuleSet":
+        """Select the batched-lookup strategy; returns ``self`` for chaining.
+
+        ``max_cells`` (when given) re-pins the per-subtree mark-space cap
+        and invalidates any previously compiled plane.
+
+        Example::
+
+            >>> rules.set_lookup("scan") is rules
+            True
+        """
+        if mode not in LOOKUP_MODES:
+            raise ValueError(
+                f"unknown lookup mode {mode!r}; expected one of {LOOKUP_MODES}"
+            )
+        self.lookup = mode
+        if max_cells is not None and max_cells != self.lut_max_cells:
+            self.lut_max_cells = max_cells
+            self._compiled = None
+        return self
+
+    def compiled_lookup(self):
+        """The compiled dense lookup plane (built once, then cached).
+
+        Returns a :class:`repro.core.rule_lut.CompiledLookup`.  Deploy-time
+        callers (program construction) invoke this eagerly so the first
+        window round never pays the compilation.
+        """
+        if self._compiled is None:
+            from repro.core.rule_lut import compile_lookup
+
+            self._compiled = compile_lookup(self, max_cells=self.lut_max_cells)
+        return self._compiled
+
+    # ------------------------------------------------------------------
     # Reference lookup path (used by the data-plane simulator)
     # ------------------------------------------------------------------
     def classify(self, sid: int, feature_values: np.ndarray) -> tuple[str, int] | None:
@@ -272,14 +394,23 @@ class RuleSet:
         return None
 
     def classify_batch(
-        self, sid: int, feature_matrix: np.ndarray
+        self, sid: int, feature_matrix: np.ndarray, *, lookup: str | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized :meth:`classify` over a batch of flows in subtree ``sid``.
+
+        Dispatches on the rule set's ``lookup`` mode (overridable per call):
+        ``"lut"`` gathers the outcomes from the subtree's dense mark-space
+        LUT (:mod:`repro.core.rule_lut`) and silently falls back to the scan
+        for subtrees whose mark space exceeded the size cap; ``"scan"`` runs
+        the historical first-match rule loop.  Both paths are bit-identical
+        for finite feature values (``NaN`` rows are outside the contract —
+        the scan's own ``float -> int64`` cast of ``NaN`` is undefined).
 
         Args:
             sid: The (shared) active subtree of every row.
             feature_matrix: ``(n_flows, n_features)`` raw feature values,
                 one row per flow at its window boundary.
+            lookup: Optional per-call override of the lookup mode.
 
         Returns:
             ``(kinds, values)`` — ``kinds`` holds :data:`KIND_EXIT`,
@@ -292,17 +423,34 @@ class RuleSet:
             >>> kinds, values = rules.classify_batch(1, features)
             >>> labels = values[kinds == KIND_EXIT]
         """
+        mode = self.lookup if lookup is None else lookup
+        if mode not in LOOKUP_MODES:
+            raise ValueError(
+                f"unknown lookup mode {mode!r}; expected one of {LOOKUP_MODES}"
+            )
+        n_rows = feature_matrix.shape[0]
+        rules = self.subtree_rules.get(sid)
+        if rules is None or n_rows == 0:
+            return np.full(n_rows, KIND_NONE, dtype=np.int8), np.zeros(n_rows, dtype=np.int64)
+
+        if mode == "lut":
+            lut = self.compiled_lookup().get(sid)
+            if lut is not None:
+                return lut.lookup(feature_matrix)
+        return self._classify_batch_scan(rules, feature_matrix)
+
+    def _classify_batch_scan(
+        self, rules: SubtreeRuleSet, feature_matrix: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """First-match scan over the subtree's model rules (the fallback path)."""
         n_rows = feature_matrix.shape[0]
         kinds = np.full(n_rows, KIND_NONE, dtype=np.int8)
         values = np.zeros(n_rows, dtype=np.int64)
-        rules = self.subtree_rules.get(sid)
-        if rules is None or n_rows == 0:
-            return kinds, values
-
-        quantized = self.quantizer.quantize_matrix(feature_matrix)
+        features = sorted(rules.mark_tables)
+        quantized = self.quantizer.quantize_columns(feature_matrix, features)
         marks = {
-            feature: table.marks_for(quantized[:, feature])
-            for feature, table in rules.mark_tables.items()
+            feature: rules.mark_tables[feature].marks_for(quantized[:, position])
+            for position, feature in enumerate(features)
         }
         unmatched = np.ones(n_rows, dtype=bool)
         for rule in rules.model_rules:

@@ -102,6 +102,10 @@ class Controller:
         """Record a classification digest."""
         self.digests.append(digest)
 
+    def receive_digests(self, digests: list[Digest]) -> None:
+        """Record many digests at once (the batched finalisation path)."""
+        self.digests.extend(digests)
+
     def labels_by_flow(self) -> dict[int, int]:
         """Final label reported for each flow (last digest wins)."""
         return {digest.flow_id: digest.label for digest in self.digests}

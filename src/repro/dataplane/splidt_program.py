@@ -28,16 +28,37 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.partitioned_tree import PartitionedDecisionTree
-from repro.core.range_marking import KIND_EXIT, KIND_NEXT, RuleSet
+from repro.core.range_marking import KIND_EXIT, KIND_NEXT, RuleSet, group_by_sid
 from repro.dataplane.controller import Controller, Digest
 from repro.datasets.flows import FiveTuple
-from repro.features.definitions import FEATURES, N_FEATURES, feature_names
+from repro.features.definitions import (
+    FEATURES,
+    N_FEATURES,
+    STATELESS_HEADER_INDICES,
+    feature_names,
+)
 from repro.features.stateful import StatefulOperator, make_operator
 from repro.features.window import window_boundaries
 from repro.switch.hashing import FlowIndexer
 from repro.switch.phv import CONTROL_PACKET_BYTES, Phv, make_control_phv
 from repro.switch.pipeline import Pipeline
 from repro.switch.targets import TOFINO1, TargetSpec
+
+_SRC_PORT, _DST_PORT, _PROTOCOL, _PKT_LEN_FIRST = STATELESS_HEADER_INDICES
+
+
+def stateless_header_values(phv: Phv) -> dict[int, float]:
+    """Per-packet (stateless) header fields, keyed by feature index.
+
+    Shared by every data-plane program's reference path; the indices are
+    resolved once at import time, so no per-packet name lookups happen.
+    """
+    return {
+        _SRC_PORT: float(phv.five_tuple.src_port),
+        _DST_PORT: float(phv.five_tuple.dst_port),
+        _PROTOCOL: float(phv.five_tuple.protocol),
+        _PKT_LEN_FIRST: float(phv.packet.size),
+    }
 
 
 @dataclass
@@ -110,9 +131,17 @@ class SpliDTDataPlane:
         self._names = feature_names()
         self._flow_state: dict[int, _FlowState] = {}
         self._verdicts: dict[int, FlowVerdict] = {}
+        self._stateful_by_sid: dict[int, list[int]] = {}
 
         self._allocate_registers()
         self.controller.install_rules(rules, feature_table_stage=3, model_table_stage=5)
+        # Capture the lookup mode at deploy time: later set_lookup calls on
+        # the (shared) rule set do not retarget an already-built program.
+        self._lookup_mode = rules.lookup
+        if self._lookup_mode == "lut":
+            # Deploy-time compilation of the dense lookup plane, so the
+            # first window round never pays for it.
+            rules.compiled_lookup()
 
     # ------------------------------------------------------------------
     # Setup
@@ -130,6 +159,13 @@ class SpliDTDataPlane:
             self.pipeline.allocate_register(
                 f"feature_slot_{slot}", size=self.flow_slots, width=width, stage=3
             )
+        registers = self.pipeline.registers
+        self._feature_slot_registers = [registers[f"feature_slot_{slot}"] for slot in range(k)]
+        self._clear_names = [
+            name
+            for name in registers.arrays
+            if name.startswith("feature_slot_") or name.startswith("dependency_")
+        ]
 
     # ------------------------------------------------------------------
     # Packet path
@@ -162,7 +198,7 @@ class SpliDTDataPlane:
                 five_tuple=phv.five_tuple,
                 first_packet_at=phv.packet.timestamp,
             )
-            state.stateless = self._stateless_values(phv)
+            state.stateless = stateless_header_values(phv)
             self._flow_state[slot] = state
             self.pipeline.registers["sid"].write(slot, state.sid)
             self.pipeline.registers["pkt_count"].write(slot, 0)
@@ -216,9 +252,8 @@ class SpliDTDataPlane:
             state.n_recirculations += 1
             self.pipeline.registers["sid"].write(slot, state.sid)
             self.pipeline.registers["pkt_count"].write(slot, state.packets_seen)
-            for name in self.pipeline.registers.arrays:
-                if name.startswith("feature_slot_") or name.startswith("dependency_"):
-                    self.pipeline.registers[name].clear(slot)
+            for name in self._clear_names:
+                self.pipeline.registers[name].clear(slot)
             self._activate_subtree(state)
 
     def _finalise(
@@ -282,9 +317,10 @@ class SpliDTDataPlane:
         This is the batched equivalent of :meth:`process_packet` reaching a
         window boundary: every row is one flow whose ``window_index``-th
         window just completed, carrying the window's feature vector.  Flows
-        are grouped by active subtree (NumPy masks over ``sids``), the
-        subtree's rules are evaluated vectorized, and the three scalar
-        outcomes are applied batch-wise:
+        are grouped by active subtree (one stable argsort over ``sids``),
+        the subtree's model table is evaluated vectorized (compiled LUT or
+        first-match scan, per the rule set's ``lookup`` mode), and the three
+        scalar outcomes are applied batch-wise:
 
         * *exit* / no-match / last window → verdict recorded, digest emitted;
         * *next subtree* → recirculation accounted, ``sid`` register written,
@@ -317,34 +353,32 @@ class SpliDTDataPlane:
         n_rows = len(flow_ids)
         kinds = np.zeros(n_rows, dtype=np.int8)
         values = np.zeros(n_rows, dtype=np.int64)
-        for sid in np.unique(sids):
-            mask = sids == sid
-            kinds[mask], values[mask] = self.rules.classify_batch(
-                int(sid), feature_matrix[mask]
+        for sid, rows in group_by_sid(sids):
+            kinds[rows], values[rows] = self.rules.classify_batch(
+                sid, feature_matrix[rows], lookup=self._lookup_mode
             )
 
         self.pipeline.registers["pkt_count"].write_many(slots, packets_seen)
         self._mirror_feature_registers_batch(slots, sids, feature_matrix)
 
+        # Explicit boolean *arrays* (no scalar-bool mixing): at the last
+        # window nothing advances and an exit outcome is not "early".
         is_last = window_index >= self.model.config.n_partitions - 1
-        advance = (kinds == KIND_NEXT) & (not is_last)
+        not_last = np.full(n_rows, not is_last, dtype=bool)
+        advance = (kinds == KIND_NEXT) & not_last
         decided = ~advance
 
         labels = np.where(kinds == KIND_EXIT, values, self.model.default_label)
-        early_exits = (kinds == KIND_EXIT) & (not is_last)
-        for row in np.flatnonzero(decided):
-            self._finalise(
-                int(flow_ids[row]),
-                int(slots[row]),
-                _FlowState(
-                    sid=int(sids[row]),
-                    first_packet_at=float(first_packet_ts[row]),
-                    n_recirculations=window_index,
-                ),
-                int(labels[row]),
-                float(boundary_ts[row]),
-                bool(early_exits[row]),
-            )
+        early_exits = (kinds == KIND_EXIT) & not_last
+        self._finalise_batch(
+            flow_ids[decided],
+            sids[decided],
+            labels[decided],
+            boundary_ts[decided],
+            first_packet_ts[decided],
+            window_index,
+            early_exits[decided],
+        )
 
         next_sids = values[advance]
         if next_sids.size:
@@ -352,47 +386,94 @@ class SpliDTDataPlane:
             self.pipeline.recirculation.submit_batch(
                 boundary_ts[advance], CONTROL_PACKET_BYTES
             )
+            # pkt_count for the advancing rows was already written above
+            # with identical values, so only the SID write and the register
+            # clears remain — the duplicate scatter is coalesced away.
             self.pipeline.registers["sid"].write_many(advance_slots, next_sids)
-            self.pipeline.registers["pkt_count"].write_many(
-                advance_slots, packets_seen[advance]
-            )
-            clear_names = [
-                name
-                for name in self.pipeline.registers.arrays
-                if name.startswith("feature_slot_") or name.startswith("dependency_")
-            ]
-            self.pipeline.registers.clear_flows(advance_slots, clear_names)
+            self.pipeline.registers.clear_flows(advance_slots, self._clear_names)
         return advance, values
+
+    def _finalise_batch(
+        self,
+        flow_ids: np.ndarray,
+        sids: np.ndarray,
+        labels: np.ndarray,
+        boundary_ts: np.ndarray,
+        first_packet_ts: np.ndarray,
+        window_index: int,
+        early_exits: np.ndarray,
+    ) -> None:
+        """Record verdicts and digests for many decided rows at once.
+
+        Batched equivalent of :meth:`_finalise`: the arrays are converted to
+        native Python values in one ``tolist`` pass each, and the digests are
+        appended through one :meth:`Controller.receive_digests` call instead
+        of per-row method dispatch with throwaway ``_FlowState`` objects.
+        """
+        if len(flow_ids) == 0:
+            return
+        verdicts = self._verdicts
+        digests: list[Digest] = []
+        for flow_id, sid, label, decided_at, first_at, early in zip(
+            flow_ids.tolist(),
+            sids.tolist(),
+            labels.tolist(),
+            boundary_ts.tolist(),
+            first_packet_ts.tolist(),
+            early_exits.tolist(),
+        ):
+            flow_id = int(flow_id)
+            label = int(label)
+            verdicts[flow_id] = FlowVerdict(
+                flow_id=flow_id,
+                label=label,
+                decided_at=decided_at,
+                first_packet_at=first_at,
+                n_recirculations=window_index,
+                early_exit=early,
+            )
+            digests.append(
+                Digest(flow_id=flow_id, label=label, timestamp=decided_at, sid=int(sid))
+            )
+        self.controller.receive_digests(digests)
 
     def _mirror_feature_registers_batch(
         self, slots: np.ndarray, sids: np.ndarray, feature_matrix: np.ndarray
     ) -> None:
         """Batched equivalent of :meth:`_mirror_feature_registers`."""
         k = self.model.config.features_per_subtree
-        for sid in np.unique(sids):
-            stateful = self.subtree_stateful_features(int(sid))
-            mask = sids == sid
+        for sid, rows in group_by_sid(sids):
+            stateful = self.subtree_stateful_features(sid)
+            row_slots = slots[rows]
             for position, feature in enumerate(stateful[:k]):
-                register = self.pipeline.registers[f"feature_slot_{position}"]
+                register = self._feature_slot_registers[position]
                 register.write_many(
-                    slots[mask],
-                    np.minimum(feature_matrix[mask, feature], register.max_value),
+                    row_slots,
+                    np.minimum(feature_matrix[rows, feature], register.max_value),
                 )
 
     def subtree_stateful_features(self, sid: int) -> list[int]:
         """Sorted stateful feature indices of subtree ``sid`` (its operator bank).
 
         The batched engine uses this to know which window aggregates to
-        materialise for flows whose active subtree is ``sid``.
+        materialise for flows whose active subtree is ``sid``.  Memoised:
+        the sort runs once per subtree, not once per window round.
         """
-        subtree = self.model.subtrees.get(int(sid))
+        sid = int(sid)
+        cached = self._stateful_by_sid.get(sid)
+        if cached is not None:
+            return cached
+        subtree = self.model.subtrees.get(sid)
         if subtree is None:
-            return []
-        return [
-            feature
-            for feature in sorted(subtree.features_used())
-            if FEATURES[feature].stateful
-        ]
+            features: list[int] = []
+        else:
+            features = [
+                feature
+                for feature in sorted(subtree.features_used())
+                if FEATURES[feature].stateful
+            ]
+        self._stateful_by_sid[sid] = features
+        return features
 
     # ------------------------------------------------------------------
     # Helpers
@@ -423,17 +504,6 @@ class SpliDTDataPlane:
         for feature, operator in state.operators.items():
             vector[feature] = operator.value
         return vector
-
-    @staticmethod
-    def _stateless_values(phv: Phv) -> dict[int, float]:
-        """Per-packet (stateless) header fields available to every subtree."""
-        values: dict[int, float] = {}
-        by_name = {definition.name: definition.index for definition in FEATURES}
-        values[by_name["src_port"]] = float(phv.five_tuple.src_port)
-        values[by_name["dst_port"]] = float(phv.five_tuple.dst_port)
-        values[by_name["protocol"]] = float(phv.five_tuple.protocol)
-        values[by_name["pkt_len_first"]] = float(phv.packet.size)
-        return values
 
     # ------------------------------------------------------------------
     # Statistics

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.baselines.netbeacon import NETBEACON_PHASES
 from repro.baselines.topk import TopKModel
-from repro.dataplane.splidt_program import FlowVerdict
+from repro.dataplane.splidt_program import FlowVerdict, stateless_header_values
 from repro.datasets.flows import Packet
 from repro.features.definitions import FEATURES, N_FEATURES
 from repro.features.stateful import StatefulOperator, make_operator
@@ -74,7 +74,7 @@ class TopKDataPlane:
         state = self._state.get(slot)
         if state is None:
             state = _BaselineFlowState(first_packet_at=phv.packet.timestamp)
-            state.stateless = self._stateless_values(phv)
+            state.stateless = stateless_header_values(phv)
             state.operators = {
                 index: make_operator(FEATURES[index].name)
                 for index in self.model.feature_indices
@@ -140,12 +140,21 @@ class TopKDataPlane:
         if len(flow_ids) == 0:
             return
         labels = self.model.predict(feature_matrix)
-        for row, flow_id in enumerate(flow_ids):
-            self._verdicts[int(flow_id)] = FlowVerdict(
-                flow_id=int(flow_id),
-                label=int(labels[row]),
-                decided_at=float(last_packet_ts[row]),
-                first_packet_at=float(first_packet_ts[row]),
+        verdicts = self._verdicts
+        # Batched finalisation: one tolist pass per column instead of one
+        # NumPy scalar conversion per row and field.
+        for flow_id, label, decided_at, first_at in zip(
+            np.asarray(flow_ids).tolist(),
+            np.asarray(labels).tolist(),
+            np.asarray(last_packet_ts, dtype=np.float64).tolist(),
+            np.asarray(first_packet_ts, dtype=np.float64).tolist(),
+        ):
+            flow_id = int(flow_id)
+            verdicts[flow_id] = FlowVerdict(
+                flow_id=flow_id,
+                label=int(label),
+                decided_at=decided_at,
+                first_packet_at=first_at,
                 n_recirculations=0,
                 early_exit=False,
             )
@@ -157,16 +166,6 @@ class TopKDataPlane:
         for feature, operator in state.operators.items():
             vector[feature] = operator.value
         return vector
-
-    @staticmethod
-    def _stateless_values(phv: Phv) -> dict[int, float]:
-        by_name = {definition.name: definition.index for definition in FEATURES}
-        return {
-            by_name["src_port"]: float(phv.five_tuple.src_port),
-            by_name["dst_port"]: float(phv.five_tuple.dst_port),
-            by_name["protocol"]: float(phv.five_tuple.protocol),
-            by_name["pkt_len_first"]: float(phv.packet.size),
-        }
 
     @property
     def verdicts(self) -> dict[int, FlowVerdict]:

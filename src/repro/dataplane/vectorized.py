@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.range_marking import group_by_sid
 from repro.datasets.flows import Flow, PacketArrays
 from repro.features.definitions import FEATURES, FEATURES_BY_NAME, N_FEATURES
 from repro.features.flowmeter import (
@@ -384,9 +385,8 @@ def _replay_splidt_batched(program, soa: PacketArrays, fast: np.ndarray, slots: 
         for feature, column in stateless.items():
             matrix[:, feature] = column[fast[live]]
         live_sids = sids[live]
-        for sid in np.unique(live_sids):
-            group = live_sids == sid
-            for feature in program.subtree_stateful_features(int(sid)):
+        for sid, group in group_by_sid(live_sids):
+            for feature in program.subtree_stateful_features(sid):
                 matrix[group, feature] = aggregator.compute(feature, s[group], e[group])
 
         advance, next_sids = program.step_windows(
@@ -447,7 +447,8 @@ def replay_arrays(program, flows: list[Flow], soa: PacketArrays | None = None) -
     if soa.n_flows == 0:
         return
 
-    slots = flow_slots(flows, program.indexer.table_size)
+    table_size = program.indexer.table_size
+    slots = flow_slots(flows, table_size)
     populated = soa.n_packets_per_flow > 0
 
     occupancy = np.zeros(table_size, dtype=np.int64)

@@ -117,6 +117,15 @@ STATEFUL_INDICES: tuple[int, ...] = tuple(f.index for f in FEATURES if f.statefu
 #: Indices of stateless (per-packet) features only.
 STATELESS_INDICES: tuple[int, ...] = tuple(f.index for f in FEATURES if not f.stateful)
 
+#: Indices of the four stateless header fields every data-plane program
+#: reads per packet, in (src_port, dst_port, protocol, pkt_len_first)
+#: order — resolved once at import time so the per-packet reference paths
+#: never rebuild the name -> index mapping.
+STATELESS_HEADER_INDICES: tuple[int, int, int, int] = tuple(
+    FEATURES_BY_NAME[name].index
+    for name in ("src_port", "dst_port", "protocol", "pkt_len_first")
+)
+
 
 def feature_names() -> list[str]:
     """Index-aligned feature names."""

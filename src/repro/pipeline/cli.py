@@ -60,6 +60,9 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", dest="replay_engine",
                         choices=("reference", "vectorized"),
                         help="replay engine (default: SPLIDT_REPLAY_ENGINE or vectorized)")
+    parser.add_argument("--lookup", choices=("lut", "scan"),
+                        help="model-table lookup of the batched paths: compiled "
+                             "mark-space LUTs (lut, default) or first-match scan")
     parser.add_argument("--replay-flows", type=int, dest="replay_flows",
                         help="replay only the first N flows (0 = all)")
     parser.add_argument("--flow-slots", type=int, dest="flow_slots",
@@ -72,7 +75,7 @@ def _spec_from_args(args: argparse.Namespace, *, system: str | None = None) -> E
     overrides = {}
     for name in ("dataset", "n_flows", "seed", "depth", "features_per_subtree",
                  "n_partitions", "bit_width", "target", "target_flows",
-                 "replay_engine", "replay_flows", "flow_slots"):
+                 "replay_engine", "lookup", "replay_flows", "flow_slots"):
         value = getattr(args, name, None)
         if value is not None:
             overrides[name] = value
@@ -119,7 +122,7 @@ def format_result(result: ExperimentResult) -> str:
         replay = result.replay_result
         lines.append(
             f"replayed          : {len(replay.verdicts)} flows "
-            f"({spec.resolved_engine()} engine)"
+            f"({spec.resolved_engine()} engine, {spec.lookup} lookup)"
         )
         lines.append(f"data-plane F1     : {replay.report.f1_score:.3f}")
         if result.ttd:
@@ -161,6 +164,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     overrides = {}
     if args.replay_engine is not None:
         overrides["replay_engine"] = args.replay_engine
+    if getattr(args, "lookup", None) is not None:
+        overrides["lookup"] = args.lookup
     if args.replay_flows is not None:
         overrides["replay_flows"] = args.replay_flows or None
     if overrides:
@@ -356,6 +361,8 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--engine", dest="replay_engine",
                         choices=("reference", "vectorized"),
                         help="override the replay engine")
+    replay.add_argument("--lookup", choices=("lut", "scan"),
+                        help="override the model-table lookup strategy")
     replay.add_argument("--replay-flows", type=int, dest="replay_flows",
                         help="override the replayed flow count (0 = all)")
     replay.set_defaults(func=_cmd_replay)

@@ -15,6 +15,7 @@ import os
 from dataclasses import asdict, dataclass, fields, replace as dataclass_replace
 
 from repro.core.config import SpliDTConfig, TopKConfig
+from repro.core.range_marking import LOOKUP_MODES
 from repro.dataplane.runtime import REPLAY_ENGINES
 from repro.datasets.profiles import DATASET_KEYS
 from repro.serve.engine import SERVE_ENGINES
@@ -122,6 +123,10 @@ class ExperimentSpec:
             and feasibility checks.
         replay_engine: ``"reference"`` or ``"vectorized"``; ``None`` defers
             to ``SPLIDT_REPLAY_ENGINE`` (default ``"vectorized"``).
+        lookup: Model-table lookup strategy of the batched paths —
+            ``"lut"`` (default; dense mark-space LUTs compiled at deploy
+            time, with automatic per-subtree fallback) or ``"scan"`` (the
+            first-match rule scan).  Both are bit-identical.
         replay_flows: Replay only the first N flows (``None`` = all).
         flow_slots: Register slots of the simulated data-plane program.
         jitter_starts: Randomly shift flow start times during replay.
@@ -143,6 +148,7 @@ class ExperimentSpec:
     target: str = "tofino1"
     target_flows: int = 100_000
     replay_engine: str | None = None
+    lookup: str = "lut"
     replay_flows: int | None = 200
     flow_slots: int = 8192
     jitter_starts: bool = False
@@ -181,6 +187,10 @@ class ExperimentSpec:
             raise SpecError(
                 f"unknown replay engine {self.replay_engine!r}; "
                 f"expected one of {REPLAY_ENGINES}"
+            )
+        if self.lookup not in LOOKUP_MODES:
+            raise SpecError(
+                f"unknown lookup mode {self.lookup!r}; expected one of {LOOKUP_MODES}"
             )
         if self.replay_flows is not None and self.replay_flows < 1:
             raise SpecError(f"replay_flows must be >= 1, got {self.replay_flows}")

@@ -155,9 +155,12 @@ class SpliDTSystem(System):
 
     def compile(self, model, windowed, spec):
         matrix = stacked_training_matrix(windowed, model.config.n_partitions)
-        return generate_rules(model, matrix, bit_width=spec.bit_width)
+        return generate_rules(model, matrix, bit_width=spec.bit_width).set_lookup(spec.lookup)
 
     def build_program(self, model, rules, spec):
+        # Re-pin the lookup mode at deploy time: rules restored from an
+        # artifact (or compiled under another spec) follow this spec's knob.
+        rules.set_lookup(spec.lookup)
         return SpliDTDataPlane(
             model, rules, target=spec.target_spec(), flow_slots=spec.flow_slots
         )

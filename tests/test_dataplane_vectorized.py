@@ -194,3 +194,138 @@ class TestPacketArrays:
         program = SpliDTDataPlane(splidt_model, splidt_rules)
         with pytest.raises(ValueError, match="unknown engine"):
             replay_dataset(program, small_dataset, engine="warp")
+
+
+class TestLastWindowSemantics:
+    """Regression suite pinning `step_windows`' last-window mask logic.
+
+    The advance/early-exit masks are explicit boolean arrays; at the last
+    window a ``next``-subtree outcome must *not* advance (the flow gets the
+    default label) and an exit outcome is not an early exit.
+    """
+
+    def _program_and_rows(self, splidt_model, splidt_rules, windowed3, kind):
+        """A fresh program plus feature rows classifying as ``kind`` in some subtree.
+
+        ``step_windows``' mask logic depends only on the outcome kinds and
+        the window index, so any subtree with the wanted outcome serves.
+        """
+        from repro.core.range_marking import KIND_EXIT, KIND_NEXT
+
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=4096)
+        matrix = np.vstack([windowed3.partition_matrix(p, "train") for p in range(3)])
+        target = KIND_NEXT if kind == "next" else KIND_EXIT
+        for sid in splidt_rules.subtree_rules:
+            kinds, values = splidt_rules.classify_batch(sid, matrix)
+            rows = np.flatnonzero(kinds == target)[:4]
+            if rows.size:
+                return program, matrix[rows], values[rows], sid
+        raise AssertionError(f"model has no {kind} outcome in any subtree")
+
+    def _step(self, program, features, sid, window_index):
+        n = features.shape[0]
+        return program.step_windows(
+            flow_ids=np.arange(n, dtype=np.int64),
+            slots=np.arange(n, dtype=np.intp),
+            sids=np.full(n, sid, dtype=np.int64),
+            window_index=window_index,
+            feature_matrix=features,
+            boundary_ts=np.full(n, 2.0),
+            first_packet_ts=np.zeros(n),
+            packets_seen=np.full(n, 9.0),
+        )
+
+    def test_next_outcome_does_not_advance_at_last_window(
+        self, splidt_model, splidt_rules, windowed3
+    ):
+        program, features, values, root = self._program_and_rows(
+            splidt_model, splidt_rules, windowed3, "next"
+        )
+        last = splidt_model.config.n_partitions - 1
+        advance, _ = self._step(program, features, root, last)
+        assert isinstance(advance, np.ndarray) and advance.dtype == np.bool_
+        assert not advance.any()
+        for verdict in program.verdicts.values():
+            assert verdict.label == splidt_model.default_label
+            assert verdict.early_exit is False
+            assert verdict.n_recirculations == last
+
+    def test_next_outcome_advances_before_last_window(
+        self, splidt_model, splidt_rules, windowed3
+    ):
+        program, features, values, root = self._program_and_rows(
+            splidt_model, splidt_rules, windowed3, "next"
+        )
+        advance, next_sids = self._step(program, features, root, 0)
+        assert advance.dtype == np.bool_
+        assert advance.all()
+        assert np.array_equal(next_sids, values)
+        assert not program.verdicts
+
+    def test_exit_at_last_window_is_not_early(
+        self, splidt_model, splidt_rules, windowed3
+    ):
+        program, features, values, root = self._program_and_rows(
+            splidt_model, splidt_rules, windowed3, "exit"
+        )
+        last = splidt_model.config.n_partitions - 1
+        advance, _ = self._step(program, features, root, last)
+        assert not advance.any()
+        verdicts = program.verdicts
+        assert len(verdicts) == features.shape[0]
+        for flow_id, verdict in verdicts.items():
+            assert verdict.label == int(values[flow_id])
+            assert verdict.early_exit is False
+
+    def test_exit_before_last_window_is_early(
+        self, splidt_model, splidt_rules, windowed3
+    ):
+        program, features, values, root = self._program_and_rows(
+            splidt_model, splidt_rules, windowed3, "exit"
+        )
+        advance, _ = self._step(program, features, root, 0)
+        assert not advance.any()
+        for verdict in program.verdicts.values():
+            assert verdict.early_exit is True
+
+
+class TestLookupModes:
+    """The lookup knob must not change a single replayed bit."""
+
+    def test_vectorized_replay_scan_vs_lut(self, small_dataset, splidt_model, splidt_rules):
+        results = {}
+        try:
+            for mode in ("scan", "lut"):
+                splidt_rules.set_lookup(mode)
+                program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+                results[mode] = replay_dataset(
+                    program, small_dataset, max_flows=150, engine="vectorized"
+                )
+        finally:
+            # splidt_rules is session-scoped: restore the default even when
+            # the replay raises, so later tests never inherit scan mode.
+            splidt_rules.set_lookup("lut")
+        _assert_identical(results["scan"], results["lut"])
+
+
+def test_replay_arrays_matches_replay_dataset(small_dataset, splidt_model, splidt_rules):
+    """`replay_arrays` (the documented public batch entry) works standalone.
+
+    Regression: it used to crash with a NameError on its occupancy table
+    because the serve engines bypassed it in normal runs.
+    """
+    from repro.dataplane.vectorized import replay_arrays
+
+    flows = small_dataset.flows[:80]
+    program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+    replay_arrays(program, flows)
+    baseline = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192)
+    expected = replay_dataset(baseline, small_dataset, max_flows=80, engine="vectorized")
+    assert set(program.verdicts) == set(expected.verdicts)
+    for flow_id, verdict in program.verdicts.items():
+        other = expected.verdicts[flow_id]
+        assert (verdict.label, verdict.decided_at, verdict.early_exit) == (
+            other.label,
+            other.decided_at,
+            other.early_exit,
+        )

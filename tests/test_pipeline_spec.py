@@ -22,6 +22,7 @@ class TestValidation:
             {"n_flows": 5},
             {"target": "tofino9"},
             {"replay_engine": "turbo"},
+            {"lookup": "hash"},
             {"replay_flows": 0},
             {"flow_slots": 0},
             {"test_size": 0.0},
@@ -118,6 +119,15 @@ class TestSerialisation:
         other = spec.replace(dataset="D6", seed=9)
         assert (other.dataset, other.seed) == ("D6", 9)
         assert spec.dataset == "D3"
+
+    def test_lookup_defaults_to_lut_and_roundtrips(self):
+        assert ExperimentSpec().lookup == "lut"
+        spec = ExperimentSpec(lookup="scan")
+        assert ExperimentSpec.from_dict(spec.to_dict()).lookup == "scan"
+        # Specs saved before the lookup knob existed load with the default.
+        legacy = ExperimentSpec().to_dict()
+        del legacy["lookup"]
+        assert ExperimentSpec.from_dict(legacy).lookup == "lut"
 
 
 class TestServeConfig:

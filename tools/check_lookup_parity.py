@@ -1,0 +1,63 @@
+"""Assert two saved runs replay to bit-identical verdict digests.
+
+CI uses this to hold ``python -m repro run --lookup scan`` and
+``--lookup lut`` to the same verdicts::
+
+    python -m repro run --dataset D3 --n-flows 200 --lookup scan --out run-scan
+    python -m repro run --dataset D3 --n-flows 200 --lookup lut  --out run-lut
+    python tools/check_lookup_parity.py run-scan run-lut
+
+Each run directory is reloaded and replayed (generation is deterministic,
+so the replays reproduce the saved runs exactly); every ``FlowVerdict``
+field and the recirculation statistics must match across the two.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: check_lookup_parity.py <run-dir-a> <run-dir-b>",
+              file=sys.stderr)
+        return 2
+
+    from repro.pipeline.artifacts import load_run
+
+    first, second = (load_run(path).replay() for path in argv)
+    if first is None or second is None:
+        print("error: one of the runs has no data-plane replay", file=sys.stderr)
+        return 1
+    if set(first.verdicts) != set(second.verdicts):
+        print(f"error: verdict sets differ ({len(first.verdicts)} vs "
+              f"{len(second.verdicts)} flows)", file=sys.stderr)
+        return 1
+    for flow_id, verdict in first.verdicts.items():
+        other = second.verdicts[flow_id]
+        fields = ("label", "decided_at", "first_packet_at",
+                  "n_recirculations", "early_exit")
+        for field in fields:
+            if getattr(verdict, field) != getattr(other, field):
+                print(f"error: flow {flow_id} differs on {field}: "
+                      f"{getattr(verdict, field)} != {getattr(other, field)}",
+                      file=sys.stderr)
+                return 1
+    if first.recirculation != second.recirculation:
+        print(f"error: recirculation statistics differ: "
+              f"{first.recirculation} != {second.recirculation}",
+              file=sys.stderr)
+        return 1
+    print(f"verdict digests identical for {len(first.verdicts)} flows "
+          f"({argv[0]} vs {argv[1]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""cProfile the vectorized replay of a bundled dataset.
+
+Future perf PRs should start from data, not intuition: this tool trains and
+compiles one SpliDT experiment, replays its traffic through the selected
+engine under cProfile, and prints the top-N hot spots by cumulative time.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/profile_replay.py
+    PYTHONPATH=src python tools/profile_replay.py --dataset D6 --flows 800 \
+        --depth 18 --partitions 2 --lookup scan --top 30
+    PYTHONPATH=src python tools/profile_replay.py --engine reference --sort tottime
+
+The profiled region is *only* the replay (the program is built and the
+lookup plane compiled beforehand), so the report shows the steady-state
+serving cost — the part the paper claims runs at line rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile the vectorized replay of a bundled dataset"
+    )
+    parser.add_argument("--dataset", default="D3", help="dataset key (default D3)")
+    parser.add_argument("--flows", type=int, default=600,
+                        help="flows to generate and replay (default 600)")
+    parser.add_argument("--seed", type=int, default=7, help="dataset/training seed")
+    parser.add_argument("--depth", type=int, default=12, help="tree depth D")
+    parser.add_argument("--k", type=int, default=4, help="features per subtree")
+    parser.add_argument("--partitions", type=int, default=3, help="partitions")
+    parser.add_argument("--engine", default="vectorized",
+                        choices=("vectorized", "reference"), help="replay engine")
+    parser.add_argument("--lookup", default="lut", choices=("lut", "scan"),
+                        help="model-table lookup strategy")
+    parser.add_argument("--top", type=int, default=25,
+                        help="hot spots to print (default 25)")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key (default cumulative)")
+    parser.add_argument("--out", help="also dump raw pstats data to this file")
+    args = parser.parse_args(argv)
+
+    from repro.dataplane import replay_dataset
+    from repro.pipeline import Experiment, ExperimentSpec
+
+    spec = ExperimentSpec(
+        dataset=args.dataset,
+        n_flows=args.flows,
+        seed=args.seed,
+        depth=args.depth,
+        features_per_subtree=args.k,
+        n_partitions=args.partitions,
+        lookup=args.lookup,
+        replay_flows=None,
+        flow_slots=65536,
+    ).validate()
+
+    experiment = Experiment(spec)
+    print(f"preparing {spec.dataset} ({spec.n_flows} flows), training "
+          f"D={spec.depth} k={spec.features_per_subtree} "
+          f"P={spec.n_partitions} ...", flush=True)
+    started = time.perf_counter()
+    model, rules = experiment.train(), experiment.compile()
+    program = experiment.system.build_program(model, rules, spec)
+    dataset = experiment.prepare().dataset
+    n_packets = sum(flow.n_packets for flow in dataset.flows)
+    print(f"staged in {time.perf_counter() - started:.1f}s; profiling "
+          f"{args.engine} replay ({args.lookup} lookup, {n_packets} packets)",
+          flush=True)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = replay_dataset(program, dataset, engine=args.engine)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    print(f"\nreplayed {len(result.verdicts)} verdicts "
+          f"(data-plane F1 {result.report.f1_score:.3f})")
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw profile written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
