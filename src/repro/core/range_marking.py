@@ -63,6 +63,13 @@ def group_by_sid(sids: np.ndarray):
     sids = np.asarray(sids)
     if sids.size == 0:
         return
+    # Constant fast path: the fused window plane's first round has every row
+    # at the root subtree (and later rounds often collapse to one survivor
+    # subtree) — one comparison sweep instead of an argsort + split.
+    first = sids[0]
+    if sids[-1] == first and np.all(sids == first):
+        yield int(first), np.arange(sids.size, dtype=np.intp)
+        return
     order = np.argsort(sids, kind="stable")
     sorted_sids = sids[order]
     boundaries = np.flatnonzero(sorted_sids[1:] != sorted_sids[:-1]) + 1

@@ -22,9 +22,19 @@ selects the execution strategy:
   NumPy columns, flows advance in lock-step window rounds, and per-packet
   operator updates collapse into segment reductions.  Produces bit-identical
   verdicts, labels, time-to-detection values and recirculation statistics.
+* ``"fused"`` — :func:`repro.dataplane.vectorized.replay_arrays` called
+  directly, bypassing the serving adapter: no chunk validation, no
+  eligibility bookkeeping, one fused pass over the preallocated
+  :class:`~repro.dataplane.vectorized.ReplayWorkspace`.  Same bit-identical
+  contract as ``"vectorized"`` (asserted by ``tests/test_parity_fuzz.py``);
+  this is the fastest batch-replay path and what the throughput benchmarks
+  measure.
 
-Both engines share the global packet interleave computed once by
-:class:`~repro.datasets.flows.PacketArrays` instead of re-sorting per call.
+All engines share the global packet interleave computed once by
+:class:`~repro.datasets.flows.PacketArrays` instead of re-sorting per call;
+when the replay needs no flow truncation or jitter, the dataset's memoised
+``packet_arrays()`` (including its cached derived columns) is reused across
+replays.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ from repro.datasets.flows import Flow, FlowDataset, PacketArrays
 from repro.switch.phv import make_data_phv
 
 #: Engines accepted by :func:`replay_dataset`.
-REPLAY_ENGINES = ("reference", "vectorized")
+REPLAY_ENGINES = ("reference", "vectorized", "fused")
 
 
 @dataclass
@@ -176,9 +186,11 @@ def replay_dataset(
         jitter_starts: Shift each flow's start time randomly within [0, 10) s
             so flows overlap (models concurrency).
         seed: Seed for the jitter.
-        engine: ``"reference"`` for the per-packet interpreter loop or
-            ``"vectorized"`` for the batched engine; both produce identical
-            results (see the module docstring for the contract).
+        engine: ``"reference"`` for the per-packet interpreter loop,
+            ``"vectorized"`` for the batched engine behind the serving
+            adapter, or ``"fused"`` for the direct workspace-backed batched
+            path; all produce identical results (see the module docstring
+            for the contract).
 
     Example::
 
@@ -198,7 +210,24 @@ def replay_dataset(
     flows = prepare_replay_flows(
         dataset, max_flows=max_flows, jitter_starts=jitter_starts, seed=seed
     )
-    soa = PacketArrays.from_flows(flows)
+    if max_flows is None and not jitter_starts:
+        # Same flow objects as the dataset: reuse its memoised SoA (and the
+        # derived columns cached on it) across replays.
+        soa = dataset.packet_arrays()
+    else:
+        soa = PacketArrays.from_flows(flows)
+
+    if engine == "fused":
+        from repro.dataplane import vectorized as vz
+
+        vz.replay_arrays(program, flows, soa=soa)
+        labels = {flow.flow_id: flow.label for flow in flows}
+        recirculation = (
+            program.recirculation_stats()
+            if hasattr(program, "recirculation_stats")
+            else {}
+        )
+        return build_replay_result(program.verdicts, labels, recirculation)
 
     if engine == "vectorized":
         serving = MicroBatchEngine(program, eager=False)

@@ -38,7 +38,7 @@ from repro.features.definitions import (
     feature_names,
 )
 from repro.features.stateful import StatefulOperator, make_operator
-from repro.features.window import window_boundaries
+from repro.features.window import cached_window_boundaries
 from repro.switch.hashing import FlowIndexer
 from repro.switch.phv import CONTROL_PACKET_BYTES, Phv, make_control_phv
 from repro.switch.pipeline import Pipeline
@@ -91,6 +91,9 @@ class _FlowState:
     operators: dict[int, StatefulOperator] = field(default_factory=dict)
     stateless: dict[int, float] = field(default_factory=dict)
     decided: bool = False
+    #: Pairs of (operator, feature-slot register), precomputed at subtree
+    #: activation so the per-packet mirror loop does no sorting or lookups.
+    mirror: list = field(default_factory=list)
 
 
 class SpliDTDataPlane:
@@ -166,11 +169,18 @@ class SpliDTDataPlane:
             for name in registers.arrays
             if name.startswith("feature_slot_") or name.startswith("dependency_")
         ]
+        # Hot-path handles: both replay engines touch these on every packet
+        # (or round), so the dict lookups are resolved once here.
+        self._sid_register = registers["sid"]
+        self._pkt_register = registers["pkt_count"]
+        self._n_partitions = self.model.config.n_partitions
 
     # ------------------------------------------------------------------
     # Packet path
     # ------------------------------------------------------------------
-    def process_packet(self, phv: Phv, flow_id: int, flow_size: int) -> FlowVerdict | None:
+    def process_packet(
+        self, phv: Phv, flow_id: int, flow_size: int, *, mirror_registers: bool = True
+    ) -> FlowVerdict | None:
         """Run one data packet through the pipeline.
 
         Args:
@@ -180,6 +190,12 @@ class SpliDTDataPlane:
             flow_size: Total packets of the flow, as carried in the packet
                 header (Homa/NDP flow-size field) — used to derive window
                 boundaries.
+            mirror_registers: Mirror the operator values into the feature-slot
+                registers on every packet (the hardware-faithful default).
+                The vectorized engine's scalar collision path disables this:
+                feature registers are write-only instrumentation (inference
+                reads the operator state), and the engine contract already
+                scopes register counters as engine-specific.
 
         Returns:
             The flow's verdict if this packet triggered the final decision.
@@ -200,20 +216,22 @@ class SpliDTDataPlane:
             )
             state.stateless = stateless_header_values(phv)
             self._flow_state[slot] = state
-            self.pipeline.registers["sid"].write(slot, state.sid)
-            self.pipeline.registers["pkt_count"].write(slot, 0)
+            self._sid_register.write(slot, state.sid)
+            self._pkt_register.write(slot, 0)
             self._activate_subtree(state)
 
         state.packets_seen += 1
-        self.pipeline.registers["pkt_count"].write(slot, state.packets_seen)
+        self._pkt_register.write(slot, state.packets_seen)
 
         # Feature collection for the active subtree.
+        packet = phv.packet
         for operator in state.operators.values():
-            operator.update(phv.packet)
-        self._mirror_feature_registers(slot, state)
+            operator.update(packet)
+        if mirror_registers:
+            self._mirror_feature_registers(slot, state)
 
         # Window boundary check (flow-size-derived uniform windows).
-        boundaries = window_boundaries(flow_size, self.model.config.n_partitions)
+        boundaries = cached_window_boundaries(flow_size, self._n_partitions)
         boundary = boundaries[min(state.window_index, len(boundaries) - 1)]
         if state.packets_seen < boundary and state.packets_seen < flow_size:
             return None
@@ -250,8 +268,8 @@ class SpliDTDataPlane:
             state.sid = int(next_sid)
             state.window_index += 1
             state.n_recirculations += 1
-            self.pipeline.registers["sid"].write(slot, state.sid)
-            self.pipeline.registers["pkt_count"].write(slot, state.packets_seen)
+            self._sid_register.write(slot, state.sid)
+            self._pkt_register.write(slot, state.packets_seen)
             for name in self._clear_names:
                 self.pipeline.registers[name].clear(slot)
             self._activate_subtree(state)
@@ -311,6 +329,8 @@ class SpliDTDataPlane:
         boundary_ts: np.ndarray,
         first_packet_ts: np.ndarray,
         packets_seen: np.ndarray,
+        groups: list | None = None,
+        staging: list | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Advance many flows across one window boundary in a single call.
 
@@ -337,6 +357,20 @@ class SpliDTDataPlane:
             boundary_ts: Timestamp of each flow's boundary packet.
             first_packet_ts: Timestamp of each flow's first packet.
             packets_seen: Cumulative packets of each flow at the boundary.
+            groups: Optional precomputed ``[(sid, rows), ...]`` grouping of
+                the rows (as produced by
+                :func:`~repro.core.range_marking.group_by_sid` over ``sids``).
+                The fused replay loop groups once per round and shares the
+                result between its aggregation pass and this call; when
+                omitted, the grouping is computed here.
+            staging: Optional digest-staging list (owned by the engine's
+                :class:`~repro.dataplane.vectorized.ReplayWorkspace`).  When
+                given, decided rows are appended to it as column slices
+                instead of being finalised inline; the engine materialises
+                verdicts and digests once per replay via
+                :meth:`finalise_staged`.  When omitted, finalisation is
+                immediate (the drop-in scalar-equivalent contract direct
+                callers rely on).
 
         Returns:
             ``(advance_mask, next_sids)`` — rows with ``advance_mask`` True
@@ -353,24 +387,38 @@ class SpliDTDataPlane:
         n_rows = len(flow_ids)
         kinds = np.zeros(n_rows, dtype=np.int8)
         values = np.zeros(n_rows, dtype=np.int64)
-        for sid, rows in group_by_sid(sids):
+        if groups is None:
+            groups = group_by_sid(sids)
+        # One fused pass per subtree group: classification and the feature
+        # register mirror share the grouping (and the row gathers) instead of
+        # re-running the argsort in a second sweep.
+        slot_registers = self._feature_slot_registers
+        k = len(slot_registers)
+        for sid, rows in groups:
             kinds[rows], values[rows] = self.rules.classify_batch(
                 sid, feature_matrix[rows], lookup=self._lookup_mode
             )
+            stateful = self.subtree_stateful_features(sid)
+            if stateful:
+                row_slots = slots[rows]
+                for position, feature in enumerate(stateful[:k]):
+                    # write_many saturates to [0, max_value] itself.
+                    slot_registers[position].write_many(
+                        row_slots, feature_matrix[rows, feature]
+                    )
 
-        self.pipeline.registers["pkt_count"].write_many(slots, packets_seen)
-        self._mirror_feature_registers_batch(slots, sids, feature_matrix)
+        self._pkt_register.write_many(slots, packets_seen)
 
         # Explicit boolean *arrays* (no scalar-bool mixing): at the last
         # window nothing advances and an exit outcome is not "early".
-        is_last = window_index >= self.model.config.n_partitions - 1
+        is_last = window_index >= self._n_partitions - 1
         not_last = np.full(n_rows, not is_last, dtype=bool)
         advance = (kinds == KIND_NEXT) & not_last
         decided = ~advance
 
         labels = np.where(kinds == KIND_EXIT, values, self.model.default_label)
         early_exits = (kinds == KIND_EXIT) & not_last
-        self._finalise_batch(
+        decided_columns = (
             flow_ids[decided],
             sids[decided],
             labels[decided],
@@ -379,17 +427,25 @@ class SpliDTDataPlane:
             window_index,
             early_exits[decided],
         )
+        if staging is None:
+            self._finalise_batch(*decided_columns)
+        else:
+            staging.append(decided_columns)
 
         next_sids = values[advance]
         if next_sids.size:
             advance_slots = slots[advance]
-            self.pipeline.recirculation.submit_batch(
-                boundary_ts[advance], CONTROL_PACKET_BYTES
+            advance_ts = boundary_ts[advance]
+            self.pipeline.recirculation.submit_span(
+                int(advance_ts.size),
+                CONTROL_PACKET_BYTES,
+                float(advance_ts.min()),
+                float(advance_ts.max()),
             )
             # pkt_count for the advancing rows was already written above
             # with identical values, so only the SID write and the register
             # clears remain — the duplicate scatter is coalesced away.
-            self.pipeline.registers["sid"].write_many(advance_slots, next_sids)
+            self._sid_register.write_many(advance_slots, next_sids)
             self.pipeline.registers.clear_flows(advance_slots, self._clear_names)
         return advance, values
 
@@ -437,20 +493,17 @@ class SpliDTDataPlane:
             )
         self.controller.receive_digests(digests)
 
-    def _mirror_feature_registers_batch(
-        self, slots: np.ndarray, sids: np.ndarray, feature_matrix: np.ndarray
-    ) -> None:
-        """Batched equivalent of :meth:`_mirror_feature_registers`."""
-        k = self.model.config.features_per_subtree
-        for sid, rows in group_by_sid(sids):
-            stateful = self.subtree_stateful_features(sid)
-            row_slots = slots[rows]
-            for position, feature in enumerate(stateful[:k]):
-                register = self._feature_slot_registers[position]
-                register.write_many(
-                    row_slots,
-                    np.minimum(feature_matrix[rows, feature], register.max_value),
-                )
+    def finalise_staged(self, staging: list) -> None:
+        """Materialise verdicts and digests for rounds staged by ``step_windows``.
+
+        The fused replay loop hands ``step_windows`` its workspace's staging
+        list so the round loop never builds Python objects; this drains the
+        list in round order — verdict and digest ordering is identical to the
+        inline per-round finalisation.  Idempotent on an empty list.
+        """
+        for decided_columns in staging:
+            self._finalise_batch(*decided_columns)
+        staging.clear()
 
     def subtree_stateful_features(self, sid: int) -> list[int]:
         """Sorted stateful feature indices of subtree ``sid`` (its operator bank).
@@ -479,21 +532,23 @@ class SpliDTDataPlane:
     # Helpers
     # ------------------------------------------------------------------
     def _activate_subtree(self, state: _FlowState) -> None:
-        """Load the operator bank for the features of the newly active subtree."""
-        subtree = self.model.subtrees.get(state.sid)
-        features = sorted(subtree.features_used()) if subtree is not None else []
-        state.operators = {}
-        for feature in features:
-            definition = FEATURES[feature]
-            if definition.stateful:
-                state.operators[feature] = make_operator(definition.name)
+        """Load the operator bank for the features of the newly active subtree.
+
+        The subtree's sorted stateful feature list comes from the memoised
+        :meth:`subtree_stateful_features`, and the per-packet mirror pairs
+        (operator, feature-slot register) are precomputed here — activation
+        happens once per window, the mirror loop once per packet.
+        """
+        operators: dict[int, StatefulOperator] = {}
+        for feature in self.subtree_stateful_features(state.sid):
+            operators[feature] = make_operator(FEATURES[feature].name)
+        state.operators = operators
+        # dict preserves the sorted insertion order; zip truncates at k slots.
+        state.mirror = list(zip(operators.values(), self._feature_slot_registers))
 
     def _mirror_feature_registers(self, slot: int, state: _FlowState) -> None:
         """Write the operator values into the k feature-slot registers."""
-        for position, (feature, operator) in enumerate(sorted(state.operators.items())):
-            if position >= self.model.config.features_per_subtree:
-                break
-            register = self.pipeline.registers[f"feature_slot_{position}"]
+        for operator, register in state.mirror:
             register.write(slot, min(operator.value, register.max_value))
 
     def _feature_vector(self, state: _FlowState) -> np.ndarray:

@@ -1,4 +1,4 @@
-"""Vectorized (batched) replay engine for the data-plane programs.
+"""Fused, allocation-free vectorized replay engine for the data-plane programs.
 
 The reference engine in :mod:`repro.dataplane.runtime` interprets one packet
 at a time — the semantics oracle, and the slowest possible path for the
@@ -8,36 +8,50 @@ traffic orders of magnitude faster by exploiting two structural facts:
 1. **The replay factorises over register slots.**  All cross-packet state a
    program keeps is indexed by the CRC32 flow slot, so flows that occupy
    *different* slots never interact; only the global recirculation counters
-   are shared, and those are order-insensitive aggregates (counts, byte
-   totals, and the min/max of the submission interval).  Flows that *share*
-   a slot (hash collisions) corrupt each other exactly as on hardware, so
-   they are delegated to the per-packet scalar path, preserving bit-identical
-   semantics.
+   are shared, and those are order-insensitive aggregates.  Flows that share
+   a slot *and* overlap in time (or repeat a five-tuple) corrupt each other
+   exactly as on hardware, so they are delegated to the per-packet scalar
+   path; same-slot flows whose lifetimes do not overlap reclaim the slot
+   cleanly in the reference semantics and stay on the fast path (see
+   :func:`_split_scalar_fast`).
 2. **Window boundaries are deterministic.**  A flow's window segmentation
    depends only on its packet count (the Homa/NDP flow-size header field),
    so every window of every flow can be precomputed and the per-packet
-   operator updates collapse into per-window NumPy segment reductions
-   (``ufunc.reduceat`` over structure-of-arrays packet columns).
+   operator updates collapse into per-window NumPy segment reductions.
 
-The engine advances all live flows in lock-step window rounds through the
-program's batched step API (``SpliDTDataPlane.step_windows`` /
-``TopKDataPlane.classify_flow_batch``), which applies register updates,
-recirculation accounting, verdicts and digests with NumPy masks.
+The fast path is *fused and allocation-free*: a :class:`ReplayWorkspace`
+(owned by the engine, reused across rounds and replays) preallocates every
+per-round buffer — the feature matrix, gather indices, boundary timestamps,
+IAT accumulators and the digest staging list — and the round loop fills
+views of those buffers with ``np.take(..., out=...)`` sweeps.  Columns
+derived from the packet arrays (padded feature columns, exact prefix sums,
+register slots) are cached on ``PacketArrays.derived`` and shared by every
+replay of the same traffic.  Flows advance in lock-step window rounds
+through ``SpliDTDataPlane.step_windows``, which receives the round's subtree
+grouping and the workspace's staging list, so grouping happens once per
+round and verdict/digest objects are materialised once per replay.
 
-Engine contract (asserted by ``tests/test_dataplane_vectorized.py``): for
-any dataset, ``replay_dataset(..., engine="vectorized")`` produces verdicts,
-labels, time-to-detection values and recirculation statistics bit-identical
-to ``engine="reference"``.  Only instrumentation differs: register
-read/write counters reflect one batched access per window boundary instead
-of one per packet, and the flow indexer's per-packet lookup counters are not
-maintained for non-colliding flows.
+Engine contract (asserted by ``tests/test_dataplane_vectorized.py`` and
+``tests/test_parity_fuzz.py``): for any dataset,
+``replay_dataset(..., engine="vectorized")`` and ``engine="fused"`` produce
+verdicts, labels, time-to-detection values, digests and recirculation
+statistics bit-identical to ``engine="reference"``.  Only instrumentation
+differs: register read/write counters reflect one batched access per window
+boundary instead of one per packet (the scalar collision path skips the
+write-only feature-register mirror entirely), and the flow indexer's
+per-packet lookup counters are not maintained for non-colliding flows.
 
-Floating-point note: integer-valued columns (sizes, payloads, counts) are
-exact under any summation order, but inter-arrival-time sums are not —
-``np.add.reduceat`` sums pairwise while the scalar operators accumulate left
-to right.  The IAT aggregates are therefore computed with a ragged
-"transpose" loop (one vectorized step per within-window packet position)
-that reproduces the scalar accumulation order bit for bit.
+Floating-point notes:
+
+* Integer-valued columns (sizes, payloads, counts, indicators) are exact
+  under any summation order while the column total stays below 2**53, so
+  their segment sums are computed as prefix-sum differences — one gather
+  pair per round instead of a ``reduceat`` sweep — with a runtime exactness
+  guard that falls back to ``reduceat`` for columns that exceed the bound.
+* Inter-arrival-time sums are order-sensitive; they are computed by the
+  sequential sweep in :mod:`repro.dataplane.kernels` (compiled with Numba
+  when available, with a bit-identical vectorized NumPy fallback) that
+  reproduces the scalar accumulation order bit for bit.
 """
 
 from __future__ import annotations
@@ -45,6 +59,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.range_marking import group_by_sid
+from repro.dataplane.kernels import iat_sequential_sums
 from repro.datasets.flows import Flow, PacketArrays
 from repro.features.definitions import FEATURES, FEATURES_BY_NAME, N_FEATURES
 from repro.features.flowmeter import (
@@ -65,60 +80,186 @@ _FLAG_FEATURES = {
     "urg_count": 0x20,
 }
 
+#: Columns that depend on the per-replay window-start mask (cached on the
+#: aggregator, not on the shared ``PacketArrays.derived`` dict).
+_MASK_DEPENDENT = frozenset({"gap_indicator", "burst_run_length"})
+
+#: Largest column total for which float64 prefix sums of an integer-valued
+#: column are exact (contiguous integers below 2**53).
+_EXACT_PREFIX_LIMIT = float(2**53)
+
+
+# ----------------------------------------------------------------------
+# Derived packet columns (cached on PacketArrays.derived, shared by replays)
+# ----------------------------------------------------------------------
+def _base_values(soa: PacketArrays, key: str) -> np.ndarray:
+    """Unpadded per-packet values of a derived column (soa-cached)."""
+    cached = soa.derived.get(("col", key))
+    if cached is not None:
+        return cached
+    if key == "sizes":
+        values = soa.sizes
+    elif key == "payloads":
+        values = soa.payloads
+    elif key == "sizes_sq":
+        values = soa.sizes * soa.sizes
+    elif key == "fwd":
+        values = (soa.directions > 0).astype(np.float64)
+    elif key == "bwd":
+        values = (soa.directions < 0).astype(np.float64)
+    elif key == "fwd_sizes":
+        values = np.where(soa.directions > 0, soa.sizes, 0.0)
+    elif key == "bwd_sizes":
+        values = np.where(soa.directions < 0, soa.sizes, 0.0)
+    elif key == "small":
+        values = (soa.sizes < SMALL_PACKET_BYTES).astype(np.float64)
+    elif key == "large":
+        values = (soa.sizes > LARGE_PACKET_BYTES).astype(np.float64)
+    elif key in _FLAG_FEATURES:
+        values = ((soa.flags & _FLAG_FEATURES[key]) != 0).astype(np.float64)
+    elif key == "diffs":
+        values = np.zeros(soa.n_packets, dtype=np.float64)
+        if soa.n_packets > 1:
+            values[1:] = soa.timestamps[1:] - soa.timestamps[:-1]
+    else:
+        raise KeyError(key)
+    soa.derived[("col", key)] = values
+    return values
+
+
+def _pad_with_identity(values: np.ndarray) -> np.ndarray:
+    """Append one identity element so a segment end may equal ``n_packets``."""
+    padded = np.empty(values.size + 1, dtype=np.float64)
+    padded[:-1] = values
+    padded[-1] = 0.0
+    return padded
+
+
+def _padded_column(soa: PacketArrays, key: str) -> np.ndarray:
+    cached = soa.derived.get(("pad", key))
+    if cached is None:
+        cached = _pad_with_identity(_base_values(soa, key))
+        soa.derived[("pad", key)] = cached
+    return cached
+
+
+def _exact_prefix(values: np.ndarray) -> np.ndarray | None:
+    """Leading-zero prefix sums of ``values``, or ``None`` when inexact.
+
+    Prefix-difference segment sums are bit-identical to ``reduceat`` (and to
+    the scalar left-to-right operators) only when every partial sum is an
+    exactly representable integer; both conditions are checked once per
+    column and the caller falls back to ``reduceat`` on ``None``.
+    """
+    prefix = np.empty(values.size + 1, dtype=np.float64)
+    prefix[0] = 0.0
+    np.cumsum(values, out=prefix[1:])
+    if values.size and (
+        prefix[-1] > _EXACT_PREFIX_LIMIT
+        or values.min() < 0.0
+        or not np.all(values == np.floor(values))
+    ):
+        return None
+    return prefix
+
+
+def _prefix_column(soa: PacketArrays, key: str) -> np.ndarray | None:
+    marker = ("prefix", key)
+    if marker in soa.derived:
+        return soa.derived[marker]
+    prefix = _exact_prefix(_base_values(soa, key))
+    soa.derived[marker] = prefix
+    return prefix
+
+
+def _stateless_columns(soa: PacketArrays) -> dict[int, np.ndarray]:
+    """Per-flow values of the four stateless header features (soa-cached)."""
+    cached = soa.derived.get("stateless")
+    if cached is None:
+        cached = {
+            FEATURES_BY_NAME["src_port"].index: soa.src_ports.astype(np.float64),
+            FEATURES_BY_NAME["dst_port"].index: soa.dst_ports.astype(np.float64),
+            FEATURES_BY_NAME["protocol"].index: soa.protocols.astype(np.float64),
+            FEATURES_BY_NAME["pkt_len_first"].index: soa.first_sizes,
+        }
+        soa.derived["stateless"] = cached
+    return cached
+
+
+def _last_timestamps(soa: PacketArrays) -> np.ndarray:
+    """Per-flow timestamp of the last packet (soa-cached)."""
+    cached = soa.derived.get("last_ts")
+    if cached is None:
+        if soa.n_packets:
+            last_positions = np.maximum(soa.flow_starts[1:] - 1, 0)
+            cached = np.where(
+                soa.n_packets_per_flow > 0, soa.timestamps[last_positions], 0.0
+            )
+        else:
+            cached = np.zeros(soa.n_flows, dtype=np.float64)
+        soa.derived["last_ts"] = cached
+    return cached
+
+
+def _local_packet_index(soa: PacketArrays) -> np.ndarray:
+    """Per-packet offset within its flow (soa-cached)."""
+    cached = soa.derived.get("local_index")
+    if cached is None:
+        cached = np.arange(soa.n_packets, dtype=np.int64) - soa.flow_starts[soa.packet_flow]
+        soa.derived["local_index"] = cached
+    return cached
+
+
+def cached_flow_slots(soa: PacketArrays, flows: list[Flow], table_size: int) -> np.ndarray:
+    """Register slot of every flow, cached on the packet arrays per table size.
+
+    The CRC32 slot of a flow is a pure function of its five-tuple and the
+    register table size, so every replay and serving session over the same
+    ``PacketArrays`` shares one hashing pass.
+    """
+    key = ("slots", table_size)
+    slots = soa.derived.get(key)
+    if slots is None or slots.size != len(flows):
+        slots = flow_slots(flows, table_size)
+        soa.derived[key] = slots
+    return slots
+
 
 class _WindowAggregator:
     """Window-local feature aggregation over structure-of-arrays packets.
 
-    Each ``compute`` call evaluates one stateful feature over a batch of
-    packet segments ``[s_i, e_i)`` (one per flow window, all non-empty),
-    returning exactly the value the corresponding scalar
-    :class:`~repro.features.stateful.StatefulOperator` would hold at the
-    window's boundary packet.
+    Each ``fill`` call evaluates one subtree group's stateful features over a
+    batch of packet segments ``[s_i, e_i)`` (one per flow window, all
+    non-empty), writing exactly the values the corresponding scalar
+    :class:`~repro.features.stateful.StatefulOperator` bank would hold at the
+    window's boundary packet.  Intermediates (segment sums, the sequential
+    IAT sweep) are shared across the group's features, global derived columns
+    are cached on ``soa.derived``, and the optional workspace supplies the
+    IAT accumulator buffers so the hot path allocates only group-sized
+    temporaries.
     """
 
-    def __init__(self, soa: PacketArrays, window_start_mask: np.ndarray) -> None:
+    def __init__(
+        self,
+        soa: PacketArrays,
+        window_start_mask: np.ndarray,
+        workspace: "ReplayWorkspace | None" = None,
+    ) -> None:
         self._soa = soa
         self._window_start = window_start_mask
-        self._cache: dict[str, np.ndarray] = {}
+        self._workspace = workspace
+        self._local: dict = {}
 
-    # -- derived per-packet columns (padded with one identity element so a
-    # -- segment end may equal the number of packets) ---------------------
-    def _column(self, key: str) -> np.ndarray:
-        cached = self._cache.get(key)
+    # -- derived per-packet columns ---------------------------------------
+    def _mask_values(self, key: str) -> np.ndarray:
+        """Unpadded values of a window-start-mask-dependent column."""
+        cached = self._local.get(("col", key))
         if cached is not None:
             return cached
-        soa = self._soa
-        if key == "sizes":
-            values = soa.sizes
-        elif key == "payloads":
-            values = soa.payloads
-        elif key == "sizes_sq":
-            values = soa.sizes * soa.sizes
-        elif key == "fwd":
-            values = (soa.directions > 0).astype(np.float64)
-        elif key == "bwd":
-            values = (soa.directions < 0).astype(np.float64)
-        elif key == "fwd_sizes":
-            values = np.where(soa.directions > 0, soa.sizes, 0.0)
-        elif key == "bwd_sizes":
-            values = np.where(soa.directions < 0, soa.sizes, 0.0)
-        elif key == "small":
-            values = (soa.sizes < SMALL_PACKET_BYTES).astype(np.float64)
-        elif key == "large":
-            values = (soa.sizes > LARGE_PACKET_BYTES).astype(np.float64)
-        elif key in _FLAG_FEATURES:
-            values = ((soa.flags & _FLAG_FEATURES[key]) != 0).astype(np.float64)
-        elif key == "diffs":
-            values = np.zeros(soa.n_packets, dtype=np.float64)
-            if soa.n_packets > 1:
-                values[1:] = soa.timestamps[1:] - soa.timestamps[:-1]
-            self._cache[key] = values  # unpadded by design
-            return values
-        elif key == "gap_indicator":
-            diffs = self._column("diffs")
+        diffs = _base_values(self._soa, "diffs")
+        if key == "gap_indicator":
             values = ((diffs > BURST_GAP_SECONDS) & ~self._window_start).astype(np.float64)
         elif key == "burst_run_length":
-            diffs = self._column("diffs")
             new_burst = self._window_start | (diffs > BURST_GAP_SECONDS)
             if new_burst.size:
                 new_burst[0] = True
@@ -127,11 +268,27 @@ class _WindowAggregator:
             values = (positions - starts + 1).astype(np.float64)
         else:
             raise KeyError(key)
-        padded = np.empty(values.size + 1, dtype=np.float64)
-        padded[:-1] = values
-        padded[-1] = 0.0
-        self._cache[key] = padded
-        return padded
+        self._local[("col", key)] = values
+        return values
+
+    def _padded(self, key: str) -> np.ndarray:
+        if key not in _MASK_DEPENDENT:
+            return _padded_column(self._soa, key)
+        cached = self._local.get(("pad", key))
+        if cached is None:
+            cached = _pad_with_identity(self._mask_values(key))
+            self._local[("pad", key)] = cached
+        return cached
+
+    def _prefix(self, key: str) -> np.ndarray | None:
+        if key not in _MASK_DEPENDENT:
+            return _prefix_column(self._soa, key)
+        marker = ("prefix", key)
+        if marker in self._local:
+            return self._local[marker]
+        prefix = _exact_prefix(self._mask_values(key))
+        self._local[marker] = prefix
+        return prefix
 
     # -- segment primitives ----------------------------------------------
     @staticmethod
@@ -141,32 +298,31 @@ class _WindowAggregator:
         indices[1::2] = e
         return indices
 
-    def _seg_sum(self, key: str, s: np.ndarray, e: np.ndarray) -> np.ndarray:
-        return np.add.reduceat(self._column(key), self._pair_indices(s, e))[0::2]
+    def _seg_sum(self, key: str, s: np.ndarray, e: np.ndarray, shared: dict) -> np.ndarray:
+        cached = shared.get(("sum", key))
+        if cached is not None:
+            return cached
+        prefix = self._prefix(key)
+        if prefix is not None:
+            result = prefix[e] - prefix[s]
+        else:
+            result = np.add.reduceat(self._padded(key), self._pair_indices(s, e))[0::2]
+        shared[("sum", key)] = result
+        return result
 
     def _seg_max(self, key: str, s: np.ndarray, e: np.ndarray) -> np.ndarray:
-        return np.maximum.reduceat(self._column(key), self._pair_indices(s, e))[0::2]
+        return np.maximum.reduceat(self._padded(key), self._pair_indices(s, e))[0::2]
 
     def _seg_min(self, key: str, s: np.ndarray, e: np.ndarray) -> np.ndarray:
-        return np.minimum.reduceat(self._column(key), self._pair_indices(s, e))[0::2]
+        return np.minimum.reduceat(self._padded(key), self._pair_indices(s, e))[0::2]
 
-    def _iat_extreme(
-        self, s: np.ndarray, e: np.ndarray, *, largest: bool
-    ) -> np.ndarray:
+    def _iat_extreme(self, s: np.ndarray, e: np.ndarray, *, largest: bool) -> np.ndarray:
         """Max/min inter-arrival time within each segment (0 when < 2 packets)."""
         result = np.zeros(s.size, dtype=np.float64)
         has_iat = (e - s) >= 2
         if not has_iat.any():
             return result
-        diffs = self._cache.get("diffs")
-        if diffs is None:
-            diffs = self._column("diffs")
-        padded = self._cache.get("diffs_padded")
-        if padded is None:
-            padded = np.empty(diffs.size + 1, dtype=np.float64)
-            padded[:-1] = diffs
-            padded[-1] = 0.0
-            self._cache["diffs_padded"] = padded
+        padded = self._padded("diffs")
         indices = self._pair_indices(s[has_iat] + 1, e[has_iat])
         ufunc = np.maximum if largest else np.minimum
         extremes = ufunc.reduceat(padded, indices)[0::2]
@@ -176,26 +332,45 @@ class _WindowAggregator:
         result[has_iat] = extremes
         return result
 
-    def _iat_sequential_sums(
-        self, s: np.ndarray, e: np.ndarray
+    def _iat_sums(
+        self, s: np.ndarray, e: np.ndarray, shared: dict
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Left-to-right IAT sum and sum-of-squares per segment.
-
-        Mirrors the scalar MeanOperator's accumulation order exactly: one
-        vectorized addition per within-window packet position.
-        """
-        diffs = self._column("diffs")
+        """Left-to-right IAT sum / sum-of-squares per segment (shared per group)."""
+        cached = shared.get("iat")
+        if cached is not None:
+            return cached
+        workspace = self._workspace
+        acc, acc_sq = iat_sequential_sums(
+            _base_values(self._soa, "diffs"),
+            s,
+            e,
+            workspace.iat_acc if workspace is not None else None,
+            workspace.iat_sq if workspace is not None else None,
+        )
         counts = (e - s - 1).astype(np.int64)
-        acc = np.zeros(s.size, dtype=np.float64)
-        acc_sq = np.zeros(s.size, dtype=np.float64)
-        for position in range(int(counts.max()) if counts.size else 0):
-            mask = counts > position
-            gaps = diffs[s[mask] + 1 + position]
-            acc[mask] += gaps
-            acc_sq[mask] += gaps * gaps
-        return acc, acc_sq, counts
+        result = (acc, acc_sq, counts)
+        shared["iat"] = result
+        return result
 
-    # -- public kernel ----------------------------------------------------
+    # -- public kernels ---------------------------------------------------
+    def fill(
+        self,
+        matrix: np.ndarray,
+        rows: np.ndarray,
+        features: list[int],
+        s: np.ndarray,
+        e: np.ndarray,
+    ) -> None:
+        """Write the window aggregates of ``features`` into ``matrix[rows]``.
+
+        ``s`` / ``e`` are the group's segment bounds (aligned with ``rows``).
+        Intermediates are shared across the feature list, so e.g.
+        ``mean_iat`` and ``std_iat`` run the sequential sweep once.
+        """
+        shared: dict = {}
+        for feature in features:
+            matrix[rows, feature] = self._compute(feature, s, e, shared)
+
     def compute(self, feature_index: int, s: np.ndarray, e: np.ndarray) -> np.ndarray:
         """Window aggregate of one stateful feature over segments ``[s, e)``.
 
@@ -204,48 +379,56 @@ class _WindowAggregator:
             >>> agg = _WindowAggregator(soa, window_start_mask)
             >>> byte_counts = agg.compute(FEATURES_BY_NAME["byte_count"].index, s, e)
         """
+        return self._compute(feature_index, s, e, {})
+
+    def _compute(
+        self, feature_index: int, s: np.ndarray, e: np.ndarray, shared: dict
+    ) -> np.ndarray:
         name = FEATURES[feature_index].name
         ts = self._soa.timestamps
-        length = (e - s).astype(np.float64)
+        length = shared.get("length")
+        if length is None:
+            length = (e - s).astype(np.float64)
+            shared["length"] = length
 
         if name == "pkt_count":
             return length
         if name == "byte_count":
-            return self._seg_sum("sizes", s, e)
+            return self._seg_sum("sizes", s, e, shared)
         if name == "payload_sum":
-            return self._seg_sum("payloads", s, e)
+            return self._seg_sum("payloads", s, e, shared)
         if name == "fwd_byte_count":
-            return self._seg_sum("fwd_sizes", s, e)
+            return self._seg_sum("fwd_sizes", s, e, shared)
         if name == "bwd_byte_count":
-            return self._seg_sum("bwd_sizes", s, e)
+            return self._seg_sum("bwd_sizes", s, e, shared)
         if name == "fwd_pkt_count":
-            return self._seg_sum("fwd", s, e)
+            return self._seg_sum("fwd", s, e, shared)
         if name == "bwd_pkt_count":
-            return self._seg_sum("bwd", s, e)
+            return self._seg_sum("bwd", s, e, shared)
         if name == "small_pkt_count":
-            return self._seg_sum("small", s, e)
+            return self._seg_sum("small", s, e, shared)
         if name == "large_pkt_count":
-            return self._seg_sum("large", s, e)
+            return self._seg_sum("large", s, e, shared)
         if name in _FLAG_FEATURES:
-            return self._seg_sum(name, s, e)
+            return self._seg_sum(name, s, e, shared)
         if name == "mean_pkt_len":
-            return self._seg_sum("sizes", s, e) / length
+            return self._seg_sum("sizes", s, e, shared) / length
         if name == "mean_payload":
-            return self._seg_sum("payloads", s, e) / length
+            return self._seg_sum("payloads", s, e, shared) / length
         if name == "std_pkt_len":
-            total = self._seg_sum("sizes", s, e)
-            total_sq = self._seg_sum("sizes_sq", s, e)
+            total = self._seg_sum("sizes", s, e, shared)
+            total_sq = self._seg_sum("sizes_sq", s, e, shared)
             mean = total / length
             variance = np.maximum(total_sq / length - mean * mean, 0.0)
             return np.sqrt(variance)
         if name in ("mean_fwd_pkt_len", "mean_bwd_pkt_len"):
             direction = "fwd" if name == "mean_fwd_pkt_len" else "bwd"
-            count = self._seg_sum(direction, s, e)
-            total = self._seg_sum(f"{direction}_sizes", s, e)
+            count = self._seg_sum(direction, s, e, shared)
+            total = self._seg_sum(f"{direction}_sizes", s, e, shared)
             return np.where(count > 0, total / np.maximum(count, 1.0), 0.0)
         if name == "fwd_bwd_pkt_ratio":
-            fwd = self._seg_sum("fwd", s, e)
-            bwd = self._seg_sum("bwd", s, e)
+            fwd = self._seg_sum("fwd", s, e, shared)
+            bwd = self._seg_sum("bwd", s, e, shared)
             return fwd / np.maximum(bwd, 1.0)
         if name == "max_pkt_len":
             return self._seg_max("sizes", s, e)
@@ -262,7 +445,7 @@ class _WindowAggregator:
         if name == "duration":
             return ts[e - 1] - ts[s]
         if name in ("pkt_rate", "byte_rate"):
-            total = length if name == "pkt_rate" else self._seg_sum("sizes", s, e)
+            total = length if name == "pkt_rate" else self._seg_sum("sizes", s, e, shared)
             span = ts[e - 1] - ts[s]
             rate = np.zeros(s.size, dtype=np.float64)
             np.divide(total, span, out=rate, where=span > 0)
@@ -272,19 +455,100 @@ class _WindowAggregator:
         if name == "min_iat":
             return self._iat_extreme(s, e, largest=False)
         if name == "mean_iat":
-            acc, _, counts = self._iat_sequential_sums(s, e)
+            acc, _, counts = self._iat_sums(s, e, shared)
             return np.where(counts > 0, acc / np.maximum(counts, 1), 0.0)
         if name == "std_iat":
-            acc, acc_sq, counts = self._iat_sequential_sums(s, e)
+            acc, acc_sq, counts = self._iat_sums(s, e, shared)
             safe_counts = np.maximum(counts, 1).astype(np.float64)
             mean = acc / safe_counts
             variance = np.maximum(acc_sq / safe_counts - mean * mean, 0.0)
             return np.where(counts > 0, np.sqrt(variance), 0.0)
         if name == "burst_count":
-            return 1.0 + self._seg_sum("gap_indicator", s, e)
+            return 1.0 + self._seg_sum("gap_indicator", s, e, shared)
         if name == "max_burst_len":
             return self._seg_max("burst_run_length", s, e)
         raise ValueError(f"no vectorized kernel for feature {name!r}")
+
+
+class ReplayWorkspace:
+    """Preallocated per-round buffers for the fused window plane.
+
+    One workspace is owned by each engine (``MicroBatchEngine`` instance or
+    ``replay_arrays`` caller) and reused across window rounds *and* replays:
+    buffers grow monotonically to the largest flush seen and the round loop
+    works on length-``n_live`` views, so the steady state allocates no
+    buffers.  Holds:
+
+    * the ``(capacity, N_FEATURES)`` feature matrix,
+    * gather-index and per-row column buffers (segment bounds, flow ids,
+      slots, boundary/first timestamps, packet counts, live-set indices),
+    * the IAT accumulator pair used by the sequential-sweep kernel, and
+    * the digest ``staged`` list ``step_windows`` appends decided rows to.
+
+    A workspace carries no replay results — only scratch storage — so reusing
+    it across replays (or binding it to a different packet source) cannot
+    leak state between replays; ``tests/test_replay_workspace.py`` pins both
+    properties.
+    """
+
+    def __init__(self) -> None:
+        self.flow_capacity = 0
+        self.packet_capacity = 0
+        self.staged: list = []
+        self.matrix = np.empty((0, N_FEATURES), dtype=np.float64)
+        self.sids = np.empty(0, dtype=np.int64)
+        self.round_sids = np.empty(0, dtype=np.int64)
+        self.live = np.empty(0, dtype=np.intp)
+        self.iota = np.empty(0, dtype=np.intp)
+        self.fast_live = np.empty(0, dtype=np.intp)
+        self.seg_start = np.empty(0, dtype=np.intp)
+        self.seg_end = np.empty(0, dtype=np.intp)
+        self.scratch_idx = np.empty(0, dtype=np.intp)
+        self.scratch_idx2 = np.empty(0, dtype=np.intp)
+        self.flow_ids = np.empty(0, dtype=np.int64)
+        self.row_slots = np.empty(0, dtype=np.intp)
+        self.boundary_ts = np.empty(0, dtype=np.float64)
+        self.first_ts = np.empty(0, dtype=np.float64)
+        self.packets_seen = np.empty(0, dtype=np.float64)
+        self.iat_acc = np.empty(0, dtype=np.float64)
+        self.iat_sq = np.empty(0, dtype=np.float64)
+        self.window_start_mask = np.empty(0, dtype=bool)
+
+    def reserve(self, n_flows: int, n_packets: int) -> None:
+        """Grow the buffers to hold ``n_flows`` rows / ``n_packets`` packets.
+
+        Growth is monotone (never shrinks), so after the first flush of the
+        steady state every ``reserve`` is a no-op and all views handed out
+        alias the same arrays.
+        """
+        if n_flows > self.flow_capacity:
+            self.flow_capacity = n_flows
+            self.matrix = np.empty((n_flows, N_FEATURES), dtype=np.float64)
+            self.sids = np.empty(n_flows, dtype=np.int64)
+            self.round_sids = np.empty(n_flows, dtype=np.int64)
+            self.live = np.empty(n_flows, dtype=np.intp)
+            self.iota = np.arange(n_flows, dtype=np.intp)
+            self.fast_live = np.empty(n_flows, dtype=np.intp)
+            self.seg_start = np.empty(n_flows, dtype=np.intp)
+            self.seg_end = np.empty(n_flows, dtype=np.intp)
+            self.scratch_idx = np.empty(n_flows, dtype=np.intp)
+            self.scratch_idx2 = np.empty(n_flows, dtype=np.intp)
+            self.flow_ids = np.empty(n_flows, dtype=np.int64)
+            self.row_slots = np.empty(n_flows, dtype=np.intp)
+            self.boundary_ts = np.empty(n_flows, dtype=np.float64)
+            self.first_ts = np.empty(n_flows, dtype=np.float64)
+            self.packets_seen = np.empty(n_flows, dtype=np.float64)
+            self.iat_acc = np.empty(n_flows, dtype=np.float64)
+            self.iat_sq = np.empty(n_flows, dtype=np.float64)
+        if n_packets > self.packet_capacity:
+            self.packet_capacity = n_packets
+            self.window_start_mask = np.empty(n_packets, dtype=bool)
+
+    def window_mask(self, n_packets: int) -> np.ndarray:
+        """A zeroed length-``n_packets`` view of the window-start mask."""
+        view = self.window_start_mask[:n_packets]
+        view[:] = False
+        return view
 
 
 def _segment_rounds(
@@ -312,16 +576,6 @@ def _segment_rounds(
     return rounds
 
 
-def _stateless_columns(soa: PacketArrays) -> dict[int, np.ndarray]:
-    """Per-flow values of the four stateless header features."""
-    return {
-        FEATURES_BY_NAME["src_port"].index: soa.src_ports.astype(np.float64),
-        FEATURES_BY_NAME["dst_port"].index: soa.dst_ports.astype(np.float64),
-        FEATURES_BY_NAME["protocol"].index: soa.protocols.astype(np.float64),
-        FEATURES_BY_NAME["pkt_len_first"].index: soa.first_sizes,
-    }
-
-
 def _replay_scalar(
     program,
     flows: list[Flow],
@@ -331,9 +585,13 @@ def _replay_scalar(
 ) -> None:
     """Per-packet reference semantics for the flows selected by ``flow_mask``.
 
-    Used for flows that share a register slot: their packets are replayed in
-    global ``(timestamp, flow_id)`` order through ``program.process_packet``,
-    so slot corruption and reclaim behave exactly as in the reference engine.
+    Used for flows that share a register slot with temporal overlap: their
+    packets are replayed in global ``(timestamp, flow_id)`` order through
+    ``program.process_packet``, so slot corruption and reclaim behave exactly
+    as in the reference engine.  The per-packet feature-register mirror is
+    skipped (``mirror_registers=False``): those writes are write-only
+    instrumentation and the engine contract scopes register counters as
+    engine-specific.
 
     ``prefix_counts`` (per-flow, optional) restricts each flow to its first
     ``prefix_counts[i]`` packets while keeping the *full* flow size in the
@@ -342,65 +600,136 @@ def _replay_scalar(
     """
     packet_selected = flow_mask[soa.packet_flow]
     if prefix_counts is not None:
-        local_index = np.arange(soa.n_packets, dtype=np.int64) - soa.flow_starts[soa.packet_flow]
-        packet_selected = packet_selected & (local_index < prefix_counts[soa.packet_flow])
+        packet_selected = packet_selected & (
+            _local_packet_index(soa) < prefix_counts[soa.packet_flow]
+        )
     order = soa.interleave_order[packet_selected[soa.interleave_order]]
     flow_starts = soa.flow_starts
     sizes = soa.n_packets_per_flow
+    packet_flow = soa.packet_flow
+    process_packet = program.process_packet
     for position in order:
-        flow_index = int(soa.packet_flow[position])
+        flow_index = int(packet_flow[position])
         flow = flows[flow_index]
         packet = flow.packets[int(position - flow_starts[flow_index])]
-        program.process_packet(
-            make_data_phv(flow.five_tuple, packet), flow.flow_id, int(sizes[flow_index])
+        process_packet(
+            make_data_phv(flow.five_tuple, packet),
+            flow.flow_id,
+            int(sizes[flow_index]),
+            mirror_registers=False,
         )
 
 
-def _replay_splidt_batched(program, soa: PacketArrays, fast: np.ndarray, slots: np.ndarray) -> None:
-    """Lock-step window rounds for all non-colliding flows of a SpliDT program."""
+def _replay_splidt_batched(
+    program,
+    soa: PacketArrays,
+    fast: np.ndarray,
+    slots: np.ndarray,
+    workspace: ReplayWorkspace | None = None,
+) -> None:
+    """Fused lock-step window rounds for all non-colliding flows of a SpliDT program.
+
+    One pass per round: the live set is compacted in place, segment bounds
+    and per-row columns are gathered into workspace views with
+    ``np.take(..., out=...)``, the subtree grouping is computed once and
+    shared with :meth:`~repro.dataplane.splidt_program.SpliDTDataPlane.step_windows`,
+    and decided rows are staged — verdict/digest objects materialise once at
+    the end of the replay.
+    """
+    ws = workspace if workspace is not None else ReplayWorkspace()
+    n_fast = fast.size
     n_partitions = program.model.config.n_partitions
     counts = soa.n_packets_per_flow[fast]
     rounds = _segment_rounds(counts, n_partitions)
-    flow_starts = soa.flow_starts[fast]
+    ws.reserve(n_fast, soa.n_packets)
 
-    window_start_mask = np.zeros(soa.n_packets, dtype=bool)
+    flow_starts_fast = soa.flow_starts[fast]
+    mask = ws.window_mask(soa.n_packets)
     for valid, start, _ in rounds:
-        window_start_mask[flow_starts[valid] + start[valid]] = True
-    aggregator = _WindowAggregator(soa, window_start_mask)
+        mask[flow_starts_fast[valid] + start[valid]] = True
+    aggregator = _WindowAggregator(soa, mask, workspace=ws)
     stateless = _stateless_columns(soa)
 
-    fast_slots = slots[fast]
-    program.begin_flows(fast_slots)
+    program.begin_flows(slots[fast])
 
-    live = np.arange(fast.size)
-    sids = np.full(fast.size, program.model.root_sid, dtype=np.int64)
+    sids_all = ws.sids[:n_fast]
+    sids_all[:] = program.model.root_sid
+    ws.live[:n_fast] = ws.iota[:n_fast]
+    n_live = n_fast
+    staging = ws.staged
+    staging.clear()
+    flow_starts = soa.flow_starts
+    timestamps = soa.timestamps
     for w, (valid, start, end) in enumerate(rounds):
-        live = live[valid[live]]
-        if live.size == 0:
+        if n_live == 0:
             break
-        s = flow_starts[live] + start[live]
-        e = flow_starts[live] + end[live]
+        live = ws.live[:n_live]
+        keep = valid[live]
+        if not keep.all():
+            kept = live[keep]
+            n_live = kept.size
+            if n_live == 0:
+                break
+            ws.live[:n_live] = kept
+            live = ws.live[:n_live]
 
-        matrix = np.zeros((live.size, N_FEATURES), dtype=np.float64)
+        # Segment bounds of every live flow's current window (global packet
+        # indices), gathered into reusable views.
+        fast_live = ws.fast_live[:n_live]
+        np.take(fast, live, out=fast_live)
+        base = ws.scratch_idx[:n_live]
+        np.take(flow_starts, fast_live, out=base)
+        s = ws.seg_start[:n_live]
+        np.take(start, live, out=s)
+        s += base
+        e = ws.seg_end[:n_live]
+        np.take(end, live, out=e)
+        e += base
+
+        matrix = ws.matrix[:n_live]
         for feature, column in stateless.items():
-            matrix[:, feature] = column[fast[live]]
-        live_sids = sids[live]
-        for sid, group in group_by_sid(live_sids):
-            for feature in program.subtree_stateful_features(sid):
-                matrix[group, feature] = aggregator.compute(feature, s[group], e[group])
+            matrix[:, feature] = column[fast_live]
 
-        advance, next_sids = program.step_windows(
-            flow_ids=soa.flow_ids[fast[live]],
-            slots=fast_slots[live],
-            sids=live_sids,
+        # One grouping per round, shared between aggregation and step_windows.
+        round_sids = ws.round_sids[:n_live]
+        np.take(sids_all, live, out=round_sids)
+        groups = list(group_by_sid(round_sids))
+        for sid, rows in groups:
+            features = program.subtree_stateful_features(sid)
+            if features:
+                aggregator.fill(matrix, rows, features, s[rows], e[rows])
+
+        flow_ids = ws.flow_ids[:n_live]
+        np.take(soa.flow_ids, fast_live, out=flow_ids)
+        row_slots = ws.row_slots[:n_live]
+        np.take(slots, fast_live, out=row_slots)
+        np.subtract(e, 1, out=base)  # base now holds each boundary packet index
+        boundary_ts = ws.boundary_ts[:n_live]
+        np.take(timestamps, base, out=boundary_ts)
+        first_ts = ws.first_ts[:n_live]
+        np.take(soa.first_timestamps, fast_live, out=first_ts)
+        np.take(end, live, out=ws.scratch_idx2[:n_live])
+        packets_seen = ws.packets_seen[:n_live]
+        packets_seen[:] = ws.scratch_idx2[:n_live]
+
+        advance, values = program.step_windows(
+            flow_ids=flow_ids,
+            slots=row_slots,
+            sids=round_sids,
             window_index=w,
             feature_matrix=matrix,
-            boundary_ts=soa.timestamps[e - 1],
-            first_packet_ts=soa.first_timestamps[fast[live]],
-            packets_seen=end[live].astype(np.float64),
+            boundary_ts=boundary_ts,
+            first_packet_ts=first_ts,
+            packets_seen=packets_seen,
+            groups=groups,
+            staging=staging,
         )
-        sids[live[advance]] = next_sids[advance]
-        live = live[advance]
+        advancing = live[advance]
+        if advancing.size:
+            sids_all[advancing] = values[advance]
+        n_live = advancing.size
+        ws.live[:n_live] = advancing
+    program.finalise_staged(staging)
 
 
 def _replay_topk_batched(program, soa: PacketArrays, fast: np.ndarray) -> None:
@@ -417,8 +746,8 @@ def _replay_topk_batched(program, soa: PacketArrays, fast: np.ndarray) -> None:
     matrix = np.zeros((fast.size, N_FEATURES), dtype=np.float64)
     for feature, column in _stateless_columns(soa).items():
         matrix[:, feature] = column[fast]
-    for feature in program.stateful_feature_indices():
-        matrix[:, feature] = aggregator.compute(feature, s, e)
+    rows = np.arange(fast.size, dtype=np.intp)
+    aggregator.fill(matrix, rows, program.stateful_feature_indices(), s, e)
 
     program.classify_flow_batch(
         flow_ids=soa.flow_ids[fast],
@@ -428,13 +757,145 @@ def _replay_topk_batched(program, soa: PacketArrays, fast: np.ndarray) -> None:
     )
 
 
-def replay_arrays(program, flows: list[Flow], soa: PacketArrays | None = None) -> None:
+def _split_scalar_fast(
+    soa: PacketArrays,
+    flows: list[Flow],
+    slots: np.ndarray,
+    indices: np.ndarray,
+    forced: np.ndarray | None = None,
+    min_packets: int = 1,
+) -> np.ndarray:
+    """Scalar/fast partition of ``indices`` preserving reference semantics.
+
+    Returns a boolean mask over ``indices``: True rows must replay through
+    the per-packet scalar path, False rows are safe for the batched plane.
+    The rule generalises the historical "any shared slot goes scalar":
+
+    * Same-slot flows are clustered by temporal overlap (touching intervals
+      merge).  A cluster of two or more flows corrupts shared register state
+      — scalar.
+    * A flow *forced* scalar by the caller (buffered prefix, dirty slot)
+      keeps its cluster scalar.
+    * A flow with fewer than ``min_packets`` packets (for SpliDT: fewer
+      packets than partitions) may exhaust its windows while still
+      recirculating and end *undecided*; the reference engine keeps its live
+      per-slot state, which the next flow hashed there inherits.  Such flows
+      always go scalar — the scalar path materialises the inheritable state.
+    * Once a slot has seen a scalar cluster, every later flow in that slot is
+      *poisoned*: the cluster may end undecided, and on hardware the next
+      flow hashed there inherits its live register state.
+    * A slot whose flows repeat a five-tuple goes entirely scalar: the
+      reference engine treats a decided flow's retransmitted tuple as the
+      same flow (no reclaim), which the batched plane cannot express.
+
+    An isolated (non-overlapping, unpoisoned, unforced) flow with at least
+    ``min_packets`` packets always reaches a clean slot in the reference
+    engine and decides at its final window — the slot is reclaimed — so it
+    is bit-identical on the fast path.
+    """
+    n = indices.size
+    scalar = np.zeros(n, dtype=bool)
+    if forced is not None:
+        np.copyto(scalar, forced)
+    if min_packets > 1:
+        scalar |= soa.n_packets_per_flow[indices] < min_packets
+    if n == 0:
+        return scalar
+    sel_slots = slots[indices]
+    uniq, cnt = np.unique(sel_slots, return_counts=True)
+    contended = uniq[cnt > 1]
+    interesting = np.isin(sel_slots, contended)
+    if scalar.any():
+        interesting |= np.isin(sel_slots, np.unique(sel_slots[scalar]))
+    cand = np.flatnonzero(interesting)
+    if cand.size == 0:
+        return scalar
+
+    first = soa.first_timestamps[indices][cand]
+    last = _last_timestamps(soa)[indices][cand]
+    cand_slots = sel_slots[cand]
+    perm = np.lexsort((soa.flow_ids[indices][cand], first, cand_slots))
+    ordered = cand[perm]
+
+    def close_slot(members: list[tuple[int, float, float]], tuples: list) -> None:
+        if len(set(tuples)) < len(tuples):
+            # Repeated five-tuple: reference-engine dedup semantics apply.
+            for pos, _, _ in members:
+                scalar[pos] = True
+            return
+        poisoned = False
+        cluster: list[int] = []
+        cluster_scalar = False
+        run_end = None
+        for pos, first_ts, last_ts in members:
+            if run_end is not None and first_ts <= run_end:
+                cluster.append(pos)
+                cluster_scalar = cluster_scalar or bool(scalar[pos])
+                if last_ts > run_end:
+                    run_end = last_ts
+                continue
+            if cluster and (poisoned or len(cluster) > 1 or cluster_scalar):
+                for member in cluster:
+                    scalar[member] = True
+                poisoned = True
+            cluster = [pos]
+            cluster_scalar = bool(scalar[pos])
+            run_end = last_ts
+        if cluster and (poisoned or len(cluster) > 1 or cluster_scalar):
+            for member in cluster:
+                scalar[member] = True
+
+    current_slot = None
+    members: list[tuple[int, float, float]] = []
+    tuples: list = []
+    for pos, flow_index, slot, first_ts, last_ts in zip(
+        ordered.tolist(),
+        indices[ordered].tolist(),
+        cand_slots[perm].tolist(),
+        first[perm].tolist(),
+        last[perm].tolist(),
+    ):
+        if slot != current_slot:
+            if members:
+                close_slot(members, tuples)
+            current_slot = slot
+            members = []
+            tuples = []
+        members.append((pos, first_ts, last_ts))
+        tuples.append(flows[flow_index].five_tuple)
+    if members:
+        close_slot(members, tuples)
+    return scalar
+
+
+def _min_decidable_packets(program) -> int:
+    """Packet count below which a complete flow may still end *undecided*.
+
+    A SpliDT flow walks one window per packet until the final partition, so a
+    flow with fewer packets than partitions can exhaust its stream while
+    still recirculating — the reference engine then keeps its live slot
+    state for the next flow hashed there to inherit.  TopK (and any program
+    without windows) always decides at flow end.
+    """
+    if hasattr(program, "step_windows"):
+        return int(program.model.config.n_partitions)
+    return 1
+
+
+def replay_arrays(
+    program,
+    flows: list[Flow],
+    soa: PacketArrays | None = None,
+    workspace: ReplayWorkspace | None = None,
+) -> None:
     """Replay ``flows`` through ``program`` using the batched engine.
 
     Populates ``program.verdicts`` (and, for SpliDT, the controller digests
     and recirculation counters) exactly as the per-packet reference loop
-    would.  Flows that share a register slot are delegated to the scalar
-    path; everything else advances in vectorized window rounds.
+    would.  Flows that share a register slot with temporal overlap (or a
+    repeated five-tuple) are delegated to the scalar path; everything else
+    advances in fused vectorized window rounds, reusing ``workspace``
+    buffers when one is passed.
 
     Example::
 
@@ -448,22 +909,30 @@ def replay_arrays(program, flows: list[Flow], soa: PacketArrays | None = None) -
         return
 
     table_size = program.indexer.table_size
-    slots = flow_slots(flows, table_size)
-    populated = soa.n_packets_per_flow > 0
+    slots = cached_flow_slots(soa, flows, table_size)
+    populated = np.flatnonzero(soa.n_packets_per_flow > 0)
+    if populated.size == 0:
+        return
 
-    occupancy = np.zeros(table_size, dtype=np.int64)
-    np.add.at(occupancy, slots[populated], 1)
-    colliding = populated & (occupancy[slots] > 1)
-    fast = np.flatnonzero(populated & ~colliding)
+    has_batched = hasattr(program, "step_windows") or hasattr(program, "classify_flow_batch")
+    if has_batched:
+        scalar_rows = _split_scalar_fast(
+            soa, flows, slots, populated, min_packets=_min_decidable_packets(program)
+        )
+        scalar_indices = populated[scalar_rows]
+        fast = populated[~scalar_rows]
+    else:
+        scalar_indices = populated
+        fast = np.empty(0, dtype=np.intp)
 
-    if colliding.any():
-        _replay_scalar(program, flows, soa, colliding)
+    if scalar_indices.size:
+        mask = np.zeros(soa.n_flows, dtype=bool)
+        mask[scalar_indices] = True
+        _replay_scalar(program, flows, soa, mask)
 
     if fast.size == 0:
         return
     if hasattr(program, "step_windows"):
-        _replay_splidt_batched(program, soa, fast, slots)
-    elif hasattr(program, "classify_flow_batch"):
-        _replay_topk_batched(program, soa, fast)
+        _replay_splidt_batched(program, soa, fast, slots, workspace=workspace)
     else:
-        _replay_scalar(program, flows, soa, populated & ~colliding)
+        _replay_topk_batched(program, soa, fast)

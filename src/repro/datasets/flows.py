@@ -142,6 +142,9 @@ class FlowDataset:
     flows: list[Flow]
     class_names: list[str]
     metadata: dict = field(default_factory=dict)
+    _soa_cache: "PacketArrays | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_flows(self) -> int:
@@ -181,6 +184,12 @@ class FlowDataset:
     def packet_arrays(self) -> "PacketArrays":
         """Structure-of-arrays view of all packets (see :class:`PacketArrays`).
 
+        Memoised: the columns are built once and shared by every replay of
+        the same dataset (the construction pass costs more than a whole
+        vectorized replay).  The cache assumes :attr:`flows` is not mutated
+        afterwards; callers that reshape traffic (jitter, truncation) build
+        their own arrays from the derived flow list instead.
+
         Example::
 
             >>> dataset = FlowDataset("demo", "", flows, ["benign", "attack"])
@@ -188,7 +197,11 @@ class FlowDataset:
             >>> soa.timestamps.shape == (soa.n_packets,)
             True
         """
-        return PacketArrays.from_flows(self.flows)
+        cached = self._soa_cache
+        if cached is None or cached.n_flows != len(self.flows):
+            cached = PacketArrays.from_flows(self.flows)
+            self._soa_cache = cached
+        return cached
 
 
 @dataclass
@@ -246,6 +259,11 @@ class PacketArrays:
     first_sizes: np.ndarray
     first_timestamps: np.ndarray
     interleave_order: np.ndarray
+    #: Cache of columns *derived* from the SoA (padded feature columns,
+    #: prefix sums, per-table-size register slots).  Owned by the arrays so
+    #: every replay over the same traffic shares one set of derived columns;
+    #: consumers key entries with tuples, e.g. ``("slots", table_size)``.
+    derived: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     @classmethod
     def from_flows(cls, flows: list[Flow]) -> "PacketArrays":

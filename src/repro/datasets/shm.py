@@ -115,6 +115,10 @@ class SharedPacketArrays:
         offset = 0
         source = {}
         for field_ in fields(PacketArrays):
+            if not field_.init:
+                # Process-local caches (e.g. the derived-column dict) are not
+                # columns; each process rebuilds its own.
+                continue
             column = np.ascontiguousarray(getattr(soa, field_.name))
             offset = _align(offset)
             columns.append(

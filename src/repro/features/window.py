@@ -9,6 +9,8 @@ per the paper's use of Homa/NDP-style flow-size fields).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.datasets.flows import Flow, Packet
 
 
@@ -34,6 +36,18 @@ def window_boundaries(n_packets: int, n_windows: int) -> list[int]:
         cursor += size
         boundaries.append(cursor)
     return boundaries
+
+
+@lru_cache(maxsize=65536)
+def cached_window_boundaries(n_packets: int, n_windows: int) -> tuple[int, ...]:
+    """Memoised :func:`window_boundaries`, as an immutable tuple.
+
+    The per-packet reference interpreter derives the boundary of the current
+    window on *every* packet from the flow-size header field; the distinct
+    ``(flow_size, n_partitions)`` pairs of a replay number a few hundred, so
+    the division loop runs once per pair instead of once per packet.
+    """
+    return tuple(window_boundaries(n_packets, n_windows))
 
 
 def split_packets(packets: list[Packet], n_windows: int) -> list[list[Packet]]:

@@ -22,6 +22,7 @@ import sys
 import time
 
 from repro.analysis.reporting import render_table
+from repro.dataplane.runtime import REPLAY_ENGINES
 from repro.datasets.profiles import DATASET_KEYS
 from repro.datasets.registry import dataset_summary
 from repro.pipeline.artifacts import load_run, save_run
@@ -58,7 +59,7 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--target-flows", type=int, dest="target_flows",
                         help="concurrent-flow target for feasibility/baseline search")
     parser.add_argument("--engine", dest="replay_engine",
-                        choices=("reference", "vectorized"),
+                        choices=REPLAY_ENGINES,
                         help="replay engine (default: SPLIDT_REPLAY_ENGINE or vectorized)")
     parser.add_argument("--lookup", choices=("lut", "scan"),
                         help="model-table lookup of the batched paths: compiled "
@@ -359,7 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay = sub.add_parser("replay", help="replay a saved run without retraining")
     replay.add_argument("run_dir", help="run directory produced by `run --out`")
     replay.add_argument("--engine", dest="replay_engine",
-                        choices=("reference", "vectorized"),
+                        choices=REPLAY_ENGINES,
                         help="override the replay engine")
     replay.add_argument("--lookup", choices=("lut", "scan"),
                         help="override the model-table lookup strategy")

@@ -121,8 +121,9 @@ class ExperimentSpec:
         target: Hardware target name (``"tofino1"`` …).
         target_flows: Concurrent-flow target used for baseline model search
             and feasibility checks.
-        replay_engine: ``"reference"`` or ``"vectorized"``; ``None`` defers
-            to ``SPLIDT_REPLAY_ENGINE`` (default ``"vectorized"``).
+        replay_engine: ``"reference"``, ``"vectorized"`` or ``"fused"``;
+            ``None`` defers to ``SPLIDT_REPLAY_ENGINE`` (default
+            ``"vectorized"``).
         lookup: Model-table lookup strategy of the batched paths —
             ``"lut"`` (default; dense mark-space LUTs compiled at deploy
             time, with automatic per-subtree fallback) or ``"scan"`` (the

@@ -17,11 +17,16 @@ eager flush once three conditions hold:
 3. **unblocked** — no *other* live (seen, unflushed, non-eligible) flow
    occupies the same register slot.
 
-Flows flushed together that share a slot, and flows whose stream ended
-mid-flow (prefixes), are delegated to the per-packet scalar path in global
-interleave order — exactly the collision discipline of
-``replay_dataset(engine="vectorized")`` — so the results after ``drain`` are
-bit-identical to the reference loop for **any** chunking of the stream.
+Flows flushed together that share a slot with temporal overlap (or a
+repeated five-tuple), and flows whose stream ended mid-flow (prefixes), are
+delegated to the per-packet scalar path in global interleave order — exactly
+the collision discipline of ``replay_dataset(engine="vectorized")`` — so the
+results after ``drain`` are bit-identical to the reference loop for **any**
+chunking of the stream.
+
+Each engine owns one :class:`~repro.dataplane.vectorized.ReplayWorkspace`
+shared by all its flushes, so the per-round buffers of the fused window
+plane are allocated once per session, not once per flush.
 
 With ``eager=False`` the engine never flushes before ``drain`` and the whole
 session collapses to one vectorized batch — the ingest-everything-then-drain
@@ -41,7 +46,6 @@ from repro.serve.engine import (
     InferenceEngine,
     ServeError,
 )
-from repro.switch.hashing import flow_slots
 
 
 class MicroBatchEngine(InferenceEngine):
@@ -96,8 +100,10 @@ class MicroBatchEngine(InferenceEngine):
         self._flushed: np.ndarray | None = None
         self._last_ts: np.ndarray | None = None
         self._dirty_slots: np.ndarray | None = None
+        self._forced_scalar: np.ndarray | None = None
         self._pending = 0
         self._complete_unflushed = 0
+        self._workspace = vz.ReplayWorkspace()
 
     def verdicts(self) -> dict:
         """The program's live verdict dict (non-blocking snapshot).
@@ -134,16 +140,29 @@ class MicroBatchEngine(InferenceEngine):
         if self._preset_slots is not None and self._preset_slots.size == soa.n_flows:
             self._slots = self._preset_slots
         else:
-            self._slots = flow_slots(self._flows, table_size)
+            self._slots = vz.cached_flow_slots(soa, self._flows, table_size)
         self._buffered = np.zeros(soa.n_flows, dtype=np.int64)
         self._flushed = np.zeros(soa.n_flows, dtype=bool)
         self._dirty_slots = np.zeros(table_size, dtype=bool)
-        counts = soa.n_packets_per_flow
-        last_positions = np.maximum(soa.flow_starts[1:] - 1, 0)
-        if soa.n_packets:
-            self._last_ts = np.where(counts > 0, soa.timestamps[last_positions], 0.0)
-        else:
-            self._last_ts = np.zeros(soa.n_flows, dtype=np.float64)
+        self._last_ts = vz._last_timestamps(soa)
+        # Same-tuple flows can straddle flushes: the reference engine folds a
+        # retransmitted five-tuple into the earlier flow's (possibly decided)
+        # slot state, which only the persistent scalar path reproduces.  The
+        # within-flush dedup check in _split_scalar_fast cannot see across
+        # flushes, so slots with a repeated tuple are pinned scalar up front.
+        self._forced_scalar = np.zeros(soa.n_flows, dtype=bool)
+        populated = np.flatnonzero(soa.n_packets_per_flow > 0)
+        seen: set = set()
+        dup_slots: set[int] = set()
+        for flow_index in populated.tolist():
+            tuple_ = self._flows[flow_index].five_tuple
+            if tuple_ in seen:
+                dup_slots.add(int(self._slots[flow_index]))
+            seen.add(tuple_)
+        if dup_slots:
+            hit = np.isin(self._slots[populated],
+                          np.fromiter(dup_slots, dtype=np.intp))
+            self._forced_scalar[populated[hit]] = True
 
     def _ingest(self, chunk: PacketChunk) -> None:
         if self._slots is None:
@@ -211,20 +230,23 @@ class MicroBatchEngine(InferenceEngine):
         """Push the selected flows through the program (scalar first, then batched).
 
         Mirrors :func:`repro.dataplane.vectorized.replay_arrays`: flows that
-        share a register slot *within this flush* — plus flows whose buffered
-        packets are only a prefix, and flows whose slot is *dirty* (an
-        earlier collision flow ended undecided there, leaving live register
-        state a later flow inherits on hardware) — replay per-packet in
-        global interleave order; everything else advances through the
-        batched window rounds.
+        share a register slot with temporal overlap *within this flush* —
+        plus flows whose buffered packets are only a prefix, and flows whose
+        slot is *dirty* (an earlier collision flow ended undecided there,
+        leaving live register state a later flow inherits on hardware) —
+        replay per-packet in global interleave order; everything else
+        advances through the batched window rounds
+        (:func:`repro.dataplane.vectorized._split_scalar_fast` documents the
+        full partition rule).
         """
         soa, flows, program = self._soa, self._flows, self.program
         complete = self._buffered[indices] == soa.n_packets_per_flow[indices]
-        slot_values, slot_counts = np.unique(self._slots[indices], return_counts=True)
-        contended = slot_values[slot_counts > 1]
-        colliding = np.isin(self._slots[indices], contended)
         dirty = self._dirty_slots[self._slots[indices]]
-        scalar = colliding | ~complete | dirty
+        scalar = vz._split_scalar_fast(
+            soa, flows, self._slots, indices,
+            forced=~complete | dirty | self._forced_scalar[indices],
+            min_packets=vz._min_decidable_packets(program),
+        )
         scalar_indices = indices[scalar]
         fast_indices = indices[~scalar]
 
@@ -241,7 +263,9 @@ class MicroBatchEngine(InferenceEngine):
                     self._dirty_slots[self._slots[flow_index]] = True
         if fast_indices.size:
             if hasattr(program, "step_windows"):
-                vz._replay_splidt_batched(program, soa, fast_indices, self._slots)
+                vz._replay_splidt_batched(
+                    program, soa, fast_indices, self._slots, workspace=self._workspace
+                )
             elif hasattr(program, "classify_flow_batch"):
                 vz._replay_topk_batched(program, soa, fast_indices)
             else:

@@ -9,6 +9,7 @@ a helper that reduces the digest to a register index and reports collisions.
 from __future__ import annotations
 
 import binascii
+from functools import lru_cache
 
 import numpy as np
 
@@ -33,8 +34,14 @@ def crc32_reference(data: bytes) -> int:
     return crc ^ 0xFFFFFFFF
 
 
+@lru_cache(maxsize=262144)
 def hash_five_tuple(five_tuple: FiveTuple) -> int:
-    """CRC-32 digest of a flow's 5-tuple."""
+    """CRC-32 digest of a flow's 5-tuple.
+
+    Memoised on the (frozen, hashable) tuple: the per-packet reference path
+    re-hashes the same flow on every packet, so the byte encoding and CRC run
+    once per flow instead of once per packet.
+    """
     return crc32(five_tuple.as_bytes())
 
 

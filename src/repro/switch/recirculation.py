@@ -52,9 +52,29 @@ class RecirculationChannel:
         timestamps = np.asarray(timestamps, dtype=float)
         if timestamps.size == 0:
             return
-        self.packets_recirculated += int(timestamps.size)
-        self.bytes_recirculated += packet_bytes * int(timestamps.size)
-        self._observe_interval(float(timestamps.min()), float(timestamps.max()))
+        self.submit_span(
+            int(timestamps.size),
+            packet_bytes,
+            float(timestamps.min()),
+            float(timestamps.max()),
+        )
+
+    def submit_span(
+        self, count: int, packet_bytes: int, earliest: float, latest: float
+    ) -> None:
+        """Account for ``count`` control packets submitted within a time span.
+
+        The counters-only core of :meth:`submit_batch`: the fused window
+        plane already holds the boundary timestamps in a workspace buffer and
+        reduces the span itself, so it passes the extremes directly instead
+        of materialising a timestamp array per round.  Order-insensitive and
+        bit-identical to ``count`` scalar :meth:`submit` calls.
+        """
+        if count <= 0:
+            return
+        self.packets_recirculated += count
+        self.bytes_recirculated += packet_bytes * count
+        self._observe_interval(earliest, latest)
 
     def _observe_interval(self, earliest: float, latest: float) -> None:
         """Widen the observed submission interval (order-insensitive)."""

@@ -39,11 +39,14 @@ class RegisterArray:
         if self.width < 1 or self.width > 64:
             raise ValueError("width must be in [1, 64]")
         self._values = np.zeros(self.size, dtype=np.float64)
+        # Hot on both replay paths (one saturation per register write), so it
+        # is computed once here instead of re-deriving 2**width per access.
+        self._max_value = float(2**self.width - 1)
 
     @property
     def max_value(self) -> float:
         """Largest representable value (saturating arithmetic)."""
-        return float(2**self.width - 1)
+        return self._max_value
 
     @property
     def total_bits(self) -> int:
@@ -60,7 +63,7 @@ class RegisterArray:
         """Write ``value`` (saturating at the register width) to ``index``."""
         self._check_index(index)
         self.writes += 1
-        self._values[index] = min(max(float(value), 0.0), self.max_value)
+        self._values[index] = min(max(float(value), 0.0), self._max_value)
 
     def add(self, index: int, delta: float) -> float:
         """Saturating add; returns the new value."""
@@ -96,7 +99,7 @@ class RegisterArray:
         """
         indices = self._check_indices(indices)
         self.writes += len(indices)
-        self._values[indices] = np.clip(np.asarray(values, dtype=np.float64), 0.0, self.max_value)
+        self._values[indices] = np.clip(np.asarray(values, dtype=np.float64), 0.0, self._max_value)
 
     def clear_many(self, indices: np.ndarray) -> None:
         """Reset many entries to zero (batched per-window register clear)."""

@@ -1,0 +1,304 @@
+"""Differential parity fuzzer: every replay engine against the per-packet oracle.
+
+The fused window plane (PR 6) rewrote the most semantics-dense code in the
+repo; these tests are its safety net.  A seeded stdlib ``random`` generator
+produces adversarial flow traces — tiny register tables (collision-heavy
+slots), repeated five-tuples, zero-gap and burst-boundary inter-arrival
+times, single-packet flows, empty flows, truncated streams — and every trace
+is replayed through
+
+* ``engine="reference"`` (the per-packet oracle),
+* ``engine="vectorized"`` (the serving-adapter batched path),
+* ``engine="fused"`` (the direct workspace-backed batched path), and
+* an eager :class:`~repro.serve.MicroBatchEngine` fed randomly sized chunks,
+
+asserting bit-identical verdicts (label, decision time, first-packet time,
+recirculation count, early-exit flag), controller digests (as an unordered
+multiset — emission *order* is engine-specific) and recirculation counters.
+
+On a mismatch, the failing trace is greedily minimized (drop flows, then
+halve packet lists, preserving the failure) and printed together with the
+seed so the case can be replayed with::
+
+    PARITY_FUZZ_SEED=<seed> PARITY_FUZZ_CASES=1 \
+        PYTHONPATH=src python -m pytest tests/test_parity_fuzz.py -k random -s
+
+A fixed-seed corpus runs on every invocation; a short randomized burst
+(``PARITY_FUZZ_CASES``, default 3) explores new seeds each run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.dataplane import SpliDTDataPlane, replay_dataset
+from repro.datasets.flows import FiveTuple, Flow, FlowDataset, Packet
+from repro.datasets.streams import PacketChunk
+from repro.serve import MicroBatchEngine, StreamingEngine
+
+#: Fixed regression corpus — every seed here runs on every pytest invocation.
+FIXED_SEEDS = tuple(range(16))
+
+#: Inter-arrival gap choices (seconds).  0.0 exercises equal-timestamp ties,
+#: 1e-9 float rounding, 1.5/2.5 straddle the burst gap threshold (2.0 s).
+GAP_CHOICES = (0.0, 1e-9, 1e-4, 0.05, 0.4, 1.5, 2.5)
+
+
+def _random_trace(rng: random.Random) -> tuple[list[Flow], int]:
+    """A random adversarial flow trace plus a register table size."""
+    table_size = rng.choice((3, 7, 16, 64, 1024))
+    n_flows = rng.randint(1, 20)
+    # A small five-tuple pool forces slot collisions *and* repeated tuples.
+    pool_size = rng.choice((2, 3, 5, 64))
+    pool = [
+        FiveTuple(
+            src_ip=rng.randint(1, 1 << 24),
+            dst_ip=rng.randint(1, 1 << 24),
+            src_port=rng.randint(1, 65535),
+            dst_port=rng.choice((53, 443, 8080)),
+            protocol=rng.choice((6, 17)),
+        )
+        for _ in range(pool_size)
+    ]
+    flows = []
+    for flow_id in range(n_flows):
+        n_packets = rng.choice((0, 1, 1, 2, 3, 4, 7, 12, 25))
+        timestamp = rng.uniform(0.0, 4.0)
+        packets = []
+        for _ in range(n_packets):
+            packets.append(
+                Packet(
+                    timestamp=timestamp,
+                    size=rng.randint(40, 1500),
+                    flags=rng.choice((0, 0x02, 0x10, 0x12, 0x18)),
+                    direction=rng.choice((1, -1)),
+                    payload=rng.randint(0, 1460),
+                )
+            )
+            timestamp += rng.choice(GAP_CHOICES)
+        flows.append(
+            Flow(
+                five_tuple=rng.choice(pool),
+                packets=packets,
+                label=rng.randint(0, 1),
+                class_name="",
+                flow_id=flow_id,
+            )
+        )
+    return flows, table_size
+
+
+def _dataset(flows: list[Flow]) -> FlowDataset:
+    return FlowDataset(
+        name="fuzz", description="parity-fuzz trace", flows=flows,
+        class_names=["benign", "attack"],
+    )
+
+
+def _snapshot(program, result) -> dict:
+    """Everything the engine contract promises to be bit-identical."""
+    return {
+        "verdicts": {
+            flow_id: (
+                verdict.label,
+                verdict.decided_at,
+                verdict.first_packet_at,
+                verdict.n_recirculations,
+                verdict.early_exit,
+            )
+            for flow_id, verdict in result.verdicts.items()
+        },
+        "digests": sorted(
+            (digest.flow_id, digest.label, digest.timestamp, digest.sid)
+            for digest in program.controller.digests
+        ),
+        "recirculation": dict(result.recirculation),
+    }
+
+
+def _diff(name: str, oracle: dict, candidate: dict) -> str | None:
+    if oracle == candidate:
+        return None
+    for key in ("verdicts", "digests", "recirculation"):
+        if oracle[key] != candidate[key]:
+            return f"{name}: {key} diverge\n  oracle={oracle[key]!r}\n  {name}={candidate[key]!r}"
+    return f"{name}: snapshots diverge"
+
+
+def _run_engines(model, rules, flows, table_size, chunk_rng) -> str | None:
+    """Replay one trace through all engines; return a mismatch description."""
+    dataset = _dataset(flows)
+    snapshots = {}
+    for engine in ("reference", "vectorized", "fused"):
+        program = SpliDTDataPlane(model, rules, flow_slots=table_size)
+        result = replay_dataset(program, dataset, engine=engine)
+        snapshots[engine] = _snapshot(program, result)
+
+    # Eager micro-batch with randomly sized chunks.
+    program = SpliDTDataPlane(model, rules, flow_slots=table_size)
+    serving = MicroBatchEngine(
+        program, eager=True, flush_flows=chunk_rng.choice((1, 2, 8))
+    )
+    serving.open()
+    soa = dataset.packet_arrays()
+    order = soa.interleave_order
+    position = 0
+    while True:
+        step = chunk_rng.randint(1, max(1, order.size // 3 or 1))
+        serving.ingest(
+            PacketChunk(soa=soa, flows=dataset.flows,
+                        positions=order[position:position + step])
+        )
+        position += step
+        if position >= order.size:
+            break
+    serving.drain()
+    snapshots["microbatch"] = _snapshot(program, serving.close())
+
+    oracle = snapshots["reference"]
+    for name in ("vectorized", "fused", "microbatch"):
+        mismatch = _diff(name, oracle, snapshots[name])
+        if mismatch is not None:
+            return mismatch
+    return None
+
+
+def _run_truncated(model, rules, flows, table_size, cut_rng) -> str | None:
+    """Streaming vs micro-batch parity on a stream cut off mid-flight."""
+    dataset = _dataset(flows)
+    soa = dataset.packet_arrays()
+    order = soa.interleave_order
+    cut = cut_rng.randint(0, order.size) if order.size else 0
+    prefix = order[:cut]
+
+    snapshots = {}
+    for name, make in (
+        ("streaming", lambda p: StreamingEngine(p)),
+        ("microbatch", lambda p: MicroBatchEngine(p, eager=False)),
+    ):
+        program = SpliDTDataPlane(model, rules, flow_slots=table_size)
+        serving = make(program)
+        serving.open()
+        serving.ingest(PacketChunk(soa=soa, flows=dataset.flows, positions=prefix))
+        serving.drain()
+        snapshots[name] = _snapshot(program, serving.close())
+    return _diff("microbatch(truncated)", snapshots["streaming"], snapshots["microbatch"])
+
+
+def _minimize(flows, still_failing) -> list[Flow]:
+    """Greedy shrink: drop whole flows, then halve packet lists."""
+    flows = list(flows)
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        for index in range(len(flows)):
+            candidate = flows[:index] + flows[index + 1:]
+            if candidate and still_failing(candidate):
+                flows = candidate
+                shrinking = True
+                break
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        for index, flow in enumerate(flows):
+            if flow.n_packets < 2:
+                continue
+            truncated = Flow(
+                five_tuple=flow.five_tuple,
+                packets=flow.packets[: flow.n_packets // 2],
+                label=flow.label,
+                class_name=flow.class_name,
+                flow_id=flow.flow_id,
+            )
+            candidate = flows[:index] + [truncated] + flows[index + 1:]
+            if still_failing(candidate):
+                flows = candidate
+                shrinking = True
+    return flows
+
+
+def _fuzz_one(seed: int, model, rules, *, truncated: bool) -> None:
+    rng = random.Random(seed)
+    flows, table_size = _random_trace(rng)
+
+    def check(candidate_flows):
+        fresh_rng = random.Random(seed + 1)  # deterministic chunk/cut sizes
+        if truncated:
+            return _run_truncated(model, rules, candidate_flows, table_size, fresh_rng)
+        return _run_engines(model, rules, candidate_flows, table_size, fresh_rng)
+
+    mismatch = check(flows)
+    if mismatch is None:
+        return
+    minimal = _minimize(flows, lambda f: check(f) is not None)
+    trace = "\n".join(
+        f"  flow_id={flow.flow_id} tuple={flow.five_tuple} "
+        f"packets={[(p.timestamp, p.size, p.flags, p.direction, p.payload) for p in flow.packets]}"
+        for flow in minimal
+    )
+    pytest.fail(
+        f"parity mismatch (seed={seed}, table_size={table_size}, "
+        f"truncated={truncated}):\n{check(minimal)}\n"
+        f"minimized trace ({len(minimal)} flows):\n{trace}\n"
+        f"repro: PARITY_FUZZ_SEED={seed} PARITY_FUZZ_CASES=1 "
+        f"python -m pytest tests/test_parity_fuzz.py -s"
+    )
+
+
+@pytest.mark.parametrize("seed", FIXED_SEEDS)
+def test_parity_fuzz_fixed_corpus(seed, splidt_model, splidt_rules):
+    """Deterministic regression corpus across all four engines."""
+    _fuzz_one(seed, splidt_model, splidt_rules, truncated=False)
+
+
+@pytest.mark.parametrize("seed", FIXED_SEEDS[::4])
+def test_parity_fuzz_truncated_streams(seed, splidt_model, splidt_rules):
+    """Streams cut off mid-flight: prefix flows replay per-packet, exactly."""
+    _fuzz_one(seed, splidt_model, splidt_rules, truncated=True)
+
+
+def test_parity_fuzz_random_burst(splidt_model, splidt_rules):
+    """A short randomized burst; seeds are printed so failures reproduce.
+
+    ``PARITY_FUZZ_SEED`` pins the base seed, ``PARITY_FUZZ_CASES`` scales the
+    burst (CI runs a fixed seed plus a small burst; set it higher for a soak).
+    """
+    cases = int(os.environ.get("PARITY_FUZZ_CASES", "3"))
+    base_env = os.environ.get("PARITY_FUZZ_SEED")
+    base = int(base_env) if base_env else random.SystemRandom().randint(0, 2**31)
+    seeds = [base + offset for offset in range(cases)]
+    print(f"\nparity-fuzz random burst: seeds={seeds}")
+    for seed in seeds:
+        _fuzz_one(seed, splidt_model, splidt_rules, truncated=seed % 3 == 0)
+
+
+def test_duplicate_five_tuple_goes_scalar(splidt_model, splidt_rules):
+    """Two same-tuple flows in one slot must reproduce reference dedup exactly.
+
+    The reference engine treats the second flow's packets as a continuation
+    of the (decided) first flow and never emits a verdict for it; the batched
+    plane can only reproduce that by sending the whole slot scalar.
+    """
+    tuple_ = FiveTuple(src_ip=1, dst_ip=2, src_port=3, dst_port=4, protocol=6)
+
+    def burst(start: float, flow_id: int) -> Flow:
+        packets = [
+            Packet(timestamp=start + 0.1 * i, size=100 + i, flags=0x10,
+                   direction=1, payload=60)
+            for i in range(6)
+        ]
+        return Flow(five_tuple=tuple_, packets=packets, label=flow_id % 2,
+                    class_name="", flow_id=flow_id)
+
+    flows = [burst(0.0, 0), burst(100.0, 1)]  # disjoint in time, same tuple
+    mismatch = _run_engines(splidt_model, splidt_rules, flows, 64, random.Random(0))
+    assert mismatch is None, mismatch
+
+    # And the reference semantics themselves: the second flow has no verdict.
+    program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=64)
+    result = replay_dataset(program, _dataset(flows), engine="fused")
+    assert 1 not in result.verdicts

@@ -10,16 +10,22 @@ Usage (from the repository root)::
     PYTHONPATH=src python tools/profile_replay.py --dataset D6 --flows 800 \
         --depth 18 --partitions 2 --lookup scan --top 30
     PYTHONPATH=src python tools/profile_replay.py --engine reference --sort tottime
+    PYTHONPATH=src python tools/profile_replay.py --engine fused --json profile.json
 
 The profiled region is *only* the replay (the program is built and the
 lookup plane compiled beforehand), so the report shows the steady-state
 serving cost — the part the paper claims runs at line rate.
+
+``--json`` writes a machine-readable summary (run parameters, elapsed time,
+throughput, kernel backend, and the top-N hot spots) so CI can diff the hot
+path of two revisions instead of eyeballing pstats text.
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 import time
@@ -42,7 +48,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--k", type=int, default=4, help="features per subtree")
     parser.add_argument("--partitions", type=int, default=3, help="partitions")
     parser.add_argument("--engine", default="vectorized",
-                        choices=("vectorized", "reference"), help="replay engine")
+                        choices=("fused", "vectorized", "reference"),
+                        help="replay engine")
     parser.add_argument("--lookup", default="lut", choices=("lut", "scan"),
                         help="model-table lookup strategy")
     parser.add_argument("--top", type=int, default=25,
@@ -51,9 +58,13 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("cumulative", "tottime", "ncalls"),
                         help="pstats sort key (default cumulative)")
     parser.add_argument("--out", help="also dump raw pstats data to this file")
+    parser.add_argument("--json", dest="json_out",
+                        help="write a machine-readable profile summary to this "
+                             "file ('-' for stdout)")
     args = parser.parse_args(argv)
 
     from repro.dataplane import replay_dataset
+    from repro.dataplane.kernels import backend as kernel_backend
     from repro.pipeline import Experiment, ExperimentSpec
 
     spec = ExperimentSpec(
@@ -82,9 +93,11 @@ def main(argv: list[str] | None = None) -> int:
           flush=True)
 
     profiler = cProfile.Profile()
+    replay_started = time.perf_counter()
     profiler.enable()
     result = replay_dataset(program, dataset, engine=args.engine)
     profiler.disable()
+    elapsed = time.perf_counter() - replay_started
 
     stats = pstats.Stats(profiler)
     print(f"\nreplayed {len(result.verdicts)} verdicts "
@@ -94,6 +107,41 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         stats.dump_stats(args.out)
         print(f"raw profile written to {args.out}")
+    if args.json_out:
+        hotspots = []
+        stats.sort_stats("cumulative")
+        for func in stats.fcn_list[: args.top]:  # type: ignore[attr-defined]
+            cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+            filename, line, name = func
+            hotspots.append({
+                "function": f"{filename}:{line}({name})",
+                "ncalls": nc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            })
+        summary = {
+            "engine": args.engine,
+            "lookup": args.lookup,
+            "dataset": args.dataset,
+            "flows": args.flows,
+            "depth": args.depth,
+            "k": args.k,
+            "partitions": args.partitions,
+            "seed": args.seed,
+            "kernel_backend": kernel_backend(),
+            "packets": n_packets,
+            "elapsed_s": round(elapsed, 6),
+            "packets_per_s": round(n_packets / elapsed, 1) if elapsed > 0 else None,
+            "verdicts": len(result.verdicts),
+            "f1": round(result.report.f1_score, 6),
+            "hotspots": hotspots,
+        }
+        payload = json.dumps(summary, indent=2)
+        if args.json_out == "-":
+            print(payload)
+        else:
+            Path(args.json_out).write_text(payload + "\n")
+            print(f"json summary written to {args.json_out}")
     return 0
 
 
