@@ -10,6 +10,8 @@ batch helpers would.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.analysis.ttd import summarize_ttd
@@ -65,6 +67,12 @@ class RollingTTD:
         """Percentile summary over all absorbed values (median/mean/p90/p99/max)."""
         return summarize_ttd(np.asarray(self._values, dtype=float))
 
+    def reset(self) -> None:
+        """Drop everything absorbed so far (re-bind to a fresh stream segment)."""
+        self._values.clear()
+        self._sum = 0.0
+        self._max = 0.0
+
 
 class RollingReport:
     """Incremental classification tallies over streamed verdicts.
@@ -113,3 +121,57 @@ class RollingReport:
             np.asarray(self._y_true, dtype=np.intp),
             np.asarray(self._y_pred, dtype=np.intp),
         )
+
+    def reset(self) -> None:
+        """Drop everything absorbed so far (re-bind to a fresh stream segment)."""
+        self._y_true.clear()
+        self._y_pred.clear()
+        self._correct = 0
+
+
+class WindowedErrorRate:
+    """Error rate over the most recent ``window`` binary outcomes.
+
+    The drift monitors in :mod:`repro.online` feed one boolean per served
+    verdict (``True`` = misclassified); :attr:`rate` is the fraction of
+    errors inside the sliding window, maintained in O(1) per update.
+
+    Example::
+
+        >>> windowed = WindowedErrorRate(window=2)
+        >>> windowed.update(True)
+        >>> windowed.update(False)
+        >>> windowed.rate
+        0.5
+    """
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._outcomes: deque[bool] = deque(maxlen=self.window)
+        self._errors = 0
+
+    def update(self, error: bool) -> None:
+        """Absorb one outcome (``True`` when the verdict was wrong)."""
+        if len(self._outcomes) == self.window and self._outcomes[0]:
+            self._errors -= 1
+        error = bool(error)
+        self._outcomes.append(error)
+        if error:
+            self._errors += 1
+
+    @property
+    def count(self) -> int:
+        """Outcomes currently inside the window (saturates at ``window``)."""
+        return len(self._outcomes)
+
+    @property
+    def rate(self) -> float:
+        """Error fraction over the window (0.0 while empty)."""
+        return self._errors / len(self._outcomes) if self._outcomes else 0.0
+
+    def reset(self) -> None:
+        """Empty the window (e.g. after a model swap)."""
+        self._outcomes.clear()
+        self._errors = 0

@@ -21,6 +21,7 @@ rule carries the subtree id so only the active subtree's rules can match.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -286,18 +287,22 @@ class RuleSet:
     lookup: str = "lut"
     lut_max_cells: int | None = None
     _compiled: object | None = field(default=None, init=False, repr=False, compare=False)
+    _lookup_lock: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.lookup not in LOOKUP_MODES:
             raise ValueError(
                 f"unknown lookup mode {self.lookup!r}; expected one of {LOOKUP_MODES}"
             )
+        self._lookup_lock = threading.Lock()
 
     def __getstate__(self) -> dict:
         # The compiled plane is derived data: drop it so pickles (run
         # artifacts, sharded-mp workers) stay lean; consumers recompile.
+        # Locks don't pickle: drop the lock too and recreate it on load.
         state = dict(self.__dict__)
         state["_compiled"] = None
+        state["_lookup_lock"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -306,6 +311,7 @@ class RuleSet:
         state.setdefault("lut_max_cells", None)
         state.setdefault("_compiled", None)
         self.__dict__.update(state)
+        self.__dict__["_lookup_lock"] = threading.Lock()
 
     @property
     def n_feature_entries(self) -> int:
@@ -349,6 +355,11 @@ class RuleSet:
         ``max_cells`` (when given) re-pins the per-subtree mark-space cap
         and invalidates any previously compiled plane.
 
+        Idempotent and thread-safe: re-selecting the current mode (and cap)
+        is a lock-free no-op, so program builders may call this per shard or
+        worker while other threads classify through :meth:`compiled_lookup`
+        concurrently.
+
         Example::
 
             >>> rules.set_lookup("scan") is rules
@@ -358,10 +369,13 @@ class RuleSet:
             raise ValueError(
                 f"unknown lookup mode {mode!r}; expected one of {LOOKUP_MODES}"
             )
-        self.lookup = mode
-        if max_cells is not None and max_cells != self.lut_max_cells:
-            self.lut_max_cells = max_cells
-            self._compiled = None
+        if mode == self.lookup and (max_cells is None or max_cells == self.lut_max_cells):
+            return self
+        with self._lookup_lock:
+            self.lookup = mode
+            if max_cells is not None and max_cells != self.lut_max_cells:
+                self.lut_max_cells = max_cells
+                self._compiled = None
         return self
 
     def compiled_lookup(self):
@@ -369,13 +383,20 @@ class RuleSet:
 
         Returns a :class:`repro.core.rule_lut.CompiledLookup`.  Deploy-time
         callers (program construction) invoke this eagerly so the first
-        window round never pays the compilation.
+        window round never pays the compilation.  Compilation is serialised
+        under the same lock as :meth:`set_lookup`, so concurrent first-use
+        callers share one compiled plane instead of racing to build two.
         """
-        if self._compiled is None:
-            from repro.core.rule_lut import compile_lookup
+        compiled = self._compiled
+        if compiled is None:
+            with self._lookup_lock:
+                compiled = self._compiled
+                if compiled is None:
+                    from repro.core.rule_lut import compile_lookup
 
-            self._compiled = compile_lookup(self, max_cells=self.lut_max_cells)
-        return self._compiled
+                    compiled = compile_lookup(self, max_cells=self.lut_max_cells)
+                    self._compiled = compiled
+        return compiled
 
     # ------------------------------------------------------------------
     # Reference lookup path (used by the data-plane simulator)

@@ -16,7 +16,13 @@ from repro.datasets.flows import (
     Packet,
     PacketArrays,
 )
-from repro.datasets.generators import ClassSignature, SyntheticTrafficGenerator, generate_dataset
+from repro.datasets.generators import (
+    ClassSignature,
+    PhaseShiftGenerator,
+    SyntheticTrafficGenerator,
+    generate_dataset,
+    generate_phase_shift_dataset,
+)
 from repro.datasets.materialize import DatasetStore, WindowedDataset, materialize
 from repro.datasets.profiles import DATASET_KEYS, PROFILES, DatasetProfile, get_profile
 from repro.datasets.registry import (
@@ -55,6 +61,7 @@ __all__ = [
     "Packet",
     "PacketArrays",
     "PacketChunk",
+    "PhaseShiftGenerator",
     "RECIRCULATION_CAPACITY_BPS",
     "RecirculationEstimate",
     "SyntheticTrafficGenerator",
@@ -66,6 +73,7 @@ __all__ = [
     "dataset_summary",
     "estimate_recirculation",
     "generate_dataset",
+    "generate_phase_shift_dataset",
     "get_profile",
     "get_workload",
     "iter_packet_chunks",

@@ -321,8 +321,138 @@ class SyntheticTrafficGenerator:
         )
 
 
+class PhaseShiftGenerator(SyntheticTrafficGenerator):
+    """Traffic with a mid-stream concept drift (the phase-change demo).
+
+    Flows that *start* at or after the ``shift_at`` fraction of the stream
+    (start times run over ``[0, horizon)``) behave like a different class:
+    their packets follow the
+    signature of class ``(label + rotation) % n_classes`` while the
+    ground-truth label is unchanged.  A model trained on pre-shift traffic
+    therefore collapses on post-shift flows — exactly the regime the online
+    loop (:mod:`repro.online`) must detect, retrain on and recover from.
+
+    The class signatures are byte-identical to
+    :class:`SyntheticTrafficGenerator`'s for the same profile and seed
+    (they are seeded independently of flow generation), so a model trained
+    on the ordinary dataset faces only the behaviour rotation, not a new
+    feature geometry.  The flow-body draw order differs from the base
+    generator — the start time is drawn *first* so the shift decision is a
+    pure function of when the flow begins — which is why this is a separate
+    generator instead of a flag on the base one (the base rng stream, and
+    with it every existing dataset, stays untouched).
+    """
+
+    def __init__(
+        self,
+        profile: DatasetProfile,
+        seed: int = 0,
+        *,
+        shift_at: float = 0.5,
+        rotation: int = 1,
+        horizon: float = 1.0,
+    ) -> None:
+        super().__init__(profile, seed)
+        if not 0.0 < shift_at < 1.0:
+            raise ValueError(f"shift_at must be in (0, 1), got {shift_at}")
+        if horizon <= 0.0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        if profile.n_classes < 2:
+            raise ValueError("phase shift needs at least 2 classes to rotate")
+        self.shift_at = float(shift_at)
+        self.horizon = float(horizon)
+        self.rotation = int(rotation) % profile.n_classes
+        if self.rotation == 0:
+            self.rotation = 1
+
+    @property
+    def shift_time(self) -> float:
+        """Absolute stream time of the shift (``shift_at * horizon``)."""
+        return self.shift_at * self.horizon
+
+    def _generate_flow(self, flow_id: int, label: int, rng: np.random.Generator) -> Flow:
+        # The unit draw both decides the shift side and (scaled by the
+        # horizon) places the flow start, so the rng stream is independent
+        # of the horizon: stretching time never changes which flows drift.
+        unit_start = float(rng.uniform(0, 1.0))
+        start = unit_start * self.horizon
+        behaviour = label
+        if unit_start >= self.shift_at:
+            behaviour = (label + self.rotation) % self.profile.n_classes
+        signature = self.signatures[behaviour]
+        n_packets = max(6, int(rng.lognormal(np.log(self.profile.mean_flow_packets), 0.45)))
+        n_packets = min(n_packets, 1500)
+
+        port_pool = self._PORT_POOLS[signature.levels["port_profile"]]
+        five_tuple = FiveTuple(
+            src_ip=int(rng.integers(0x0A000000, 0x0AFFFFFF)),
+            dst_ip=int(rng.integers(0xC0A80000, 0xC0A8FFFF)),
+            src_port=int(rng.integers(1024, 65535)),
+            dst_port=int(port_pool[int(rng.integers(0, len(port_pool)))]),
+            protocol=signature.protocol,
+        )
+
+        noise_level = 1.0 - self.profile.separability
+        flip_probability = 0.02 + 0.3 * noise_level
+        wobble_sigma = 0.1 + 0.45 * noise_level
+        flow_levels = dict(signature.levels)
+        for name in flow_levels:
+            if rng.random() < flip_probability:
+                flow_levels[name] = int(rng.integers(0, N_LEVELS))
+        flow_signature = ClassSignature(
+            class_index=signature.class_index,
+            name=signature.name,
+            protocol=signature.protocol,
+            dst_port_base=signature.dst_port_base,
+            levels=flow_levels,
+        )
+        flow_wobble = {
+            group.name: float(rng.lognormal(0.0, wobble_sigma)) for group in self.groups
+        }
+
+        packets = []
+        timestamp = start
+        for packet_index in range(n_packets):
+            phase = min(int(N_PHASES * packet_index / n_packets), N_PHASES - 1)
+            packet = self._generate_packet(
+                flow_signature, phase, timestamp, packet_index, rng, flow_wobble
+            )
+            packets.append(packet)
+            timestamp = packet.timestamp
+
+        return Flow(
+            five_tuple=five_tuple,
+            packets=packets,
+            label=label,
+            class_name=self.signatures[label].name,
+            flow_id=flow_id,
+        )
+
+
 def generate_dataset(key: str, n_flows: int, seed: int = 0) -> FlowDataset:
     """Generate the synthetic equivalent of dataset ``key`` with ``n_flows`` flows."""
     profile = get_profile(key)
     generator = SyntheticTrafficGenerator(profile, seed=seed)
     return generator.generate(n_flows)
+
+
+def generate_phase_shift_dataset(
+    key: str,
+    n_flows: int,
+    seed: int = 0,
+    *,
+    shift_at: float = 0.5,
+    rotation: int = 1,
+    horizon: float = 1.0,
+) -> FlowDataset:
+    """Generate dataset ``key`` with a concept drift at stream time ``shift_at``."""
+    profile = get_profile(key)
+    generator = PhaseShiftGenerator(
+        profile, seed=seed, shift_at=shift_at, rotation=rotation, horizon=horizon
+    )
+    dataset = generator.generate(n_flows)
+    dataset.metadata["shift_at"] = shift_at
+    dataset.metadata["rotation"] = generator.rotation
+    dataset.metadata["horizon"] = generator.horizon
+    dataset.metadata["shift_time"] = generator.shift_time
+    return dataset

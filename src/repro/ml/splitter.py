@@ -67,6 +67,24 @@ def mse_impurity(y: np.ndarray) -> float:
     return float(np.var(y))
 
 
+def _batch_impurity(counts: np.ndarray, criterion: str) -> np.ndarray:
+    """Row-wise impurity of an ``(n_cuts, n_classes)`` class-count matrix.
+
+    Rows with a zero total contribute impurity 0 (their proportions are
+    nan-to-num'd away), matching the scalar :func:`node_impurity` convention.
+    """
+    totals = counts.sum(axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        props = counts / totals[:, None]
+    props = np.nan_to_num(props)
+    if criterion == "gini":
+        return 1.0 - np.sum(props**2, axis=1)
+    if criterion == "entropy":
+        safe = np.where(props > 0, props, 1.0)
+        return -np.sum(props * np.log2(safe), axis=1)
+    raise ValueError(f"unknown criterion: {criterion!r}")
+
+
 def _classification_split_scores(
     sorted_y: np.ndarray, n_classes: int, criterion: str
 ) -> np.ndarray:
@@ -86,24 +104,43 @@ def _classification_split_scores(
     left_totals = left_counts.sum(axis=1)
     right_totals = right_counts.sum(axis=1)
 
-    with np.errstate(divide="ignore", invalid="ignore"):
-        left_props = left_counts / left_totals[:, None]
-        right_props = right_counts / right_totals[:, None]
-    left_props = np.nan_to_num(left_props)
-    right_props = np.nan_to_num(right_props)
-
-    if criterion == "gini":
-        left_impurity = 1.0 - np.sum(left_props**2, axis=1)
-        right_impurity = 1.0 - np.sum(right_props**2, axis=1)
-    else:  # entropy
-        def _entropy(props: np.ndarray) -> np.ndarray:
-            safe = np.where(props > 0, props, 1.0)
-            return -np.sum(props * np.log2(safe), axis=1)
-
-        left_impurity = _entropy(left_props)
-        right_impurity = _entropy(right_props)
+    left_impurity = _batch_impurity(left_counts, criterion)
+    right_impurity = _batch_impurity(right_counts, criterion)
 
     return left_totals * left_impurity + right_totals * right_impurity
+
+
+def split_gains_from_counts(
+    left_counts: np.ndarray, right_counts: np.ndarray, criterion: str
+) -> np.ndarray:
+    """Per-sample impurity decrease of candidate cuts given class counts.
+
+    Streaming learners (:mod:`repro.online`) keep per-leaf class counts in
+    histogram bins instead of raw sample vectors; this scores every candidate
+    cut directly from those sufficient statistics.  ``left_counts`` and
+    ``right_counts`` are ``(n_cuts, n_classes)`` matrices whose rows must sum
+    to the same parent counts; the result is on the same scale as
+    :attr:`Split.improvement` (impurity decrease per parent sample).
+    """
+    left = np.asarray(left_counts, dtype=float)
+    right = np.asarray(right_counts, dtype=float)
+    if left.shape != right.shape:
+        raise ValueError(
+            f"left/right count shapes differ: {left.shape} != {right.shape}"
+        )
+    if left.shape[0] == 0:
+        return np.empty(0, dtype=float)
+    left_totals = left.sum(axis=1)
+    right_totals = right.sum(axis=1)
+    n_samples = float(left_totals[0] + right_totals[0])
+    if n_samples <= 0:
+        return np.zeros(left.shape[0], dtype=float)
+    parent_impurity = node_impurity(left[0] + right[0], criterion)
+    weighted = (
+        left_totals * _batch_impurity(left, criterion)
+        + right_totals * _batch_impurity(right, criterion)
+    )
+    return parent_impurity - weighted / n_samples
 
 
 def _regression_split_scores(sorted_y: np.ndarray) -> np.ndarray:

@@ -1,0 +1,209 @@
+"""Drift detectors fed from the serve path.
+
+Two signals are monitored:
+
+* **verdict errors** — each served verdict is compared against its flow's
+  ground-truth label; the binary error indicator feeds a Page–Hinkley
+  cumulative mean-shift test (or a plain windowed error-rate threshold),
+  extending the rolling accumulators of :mod:`repro.analysis.streaming`;
+* **feature distributions** — per-feature running moments (Welford) frozen
+  as a reference, compared against a sliding window of recent vectors; a
+  large standardised mean shift flags covariate drift even before labels
+  arrive.
+
+Both detectors are O(1)-amortised per update, the same contract as the
+rolling accumulators they build on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.analysis.streaming import RollingReport, WindowedErrorRate
+from repro.online.config import OnlineConfig
+
+
+class PageHinkley:
+    """Page–Hinkley test for an upward mean shift of a bounded signal.
+
+    Tracks the cumulative deviation of the signal above its running mean
+    (minus a tolerance ``delta``); an alarm fires when the cumulation rises
+    more than ``threshold`` above its historical minimum.  For a Bernoulli
+    error indicator this reacts within a handful of samples once the error
+    rate jumps, while per-sample noise around a stationary rate is absorbed.
+
+    Example::
+
+        >>> detector = PageHinkley(threshold=1.0, min_samples=4)
+        >>> any(detector.update(0.0) for _ in range(20))
+        False
+        >>> any(detector.update(1.0) for _ in range(20))
+        True
+    """
+
+    def __init__(
+        self,
+        *,
+        delta: float = 0.005,
+        threshold: float = 4.0,
+        min_samples: int = 30,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self.reset()
+
+    def update(self, value: float) -> bool:
+        """Absorb one sample; returns ``True`` when drift is detected."""
+        value = float(value)
+        self.n += 1
+        self.mean += (value - self.mean) / self.n
+        self.cumulation += value - self.mean - self.delta
+        if self.cumulation < self.minimum:
+            self.minimum = self.cumulation
+        return (
+            self.n >= self.min_samples
+            and self.cumulation - self.minimum > self.threshold
+        )
+
+    @property
+    def statistic(self) -> float:
+        """Current test statistic (cumulation above its minimum)."""
+        return self.cumulation - self.minimum
+
+    def reset(self) -> None:
+        """Forget all history (used after a model swap)."""
+        self.n = 0
+        self.mean = 0.0
+        self.cumulation = 0.0
+        self.minimum = 0.0
+
+
+class FeatureDistributionMonitor:
+    """Standardised mean-shift score between a reference and a sliding window.
+
+    ``observe`` absorbs feature vectors into per-feature running moments
+    (Welford's algorithm).  Once :meth:`freeze_reference` snapshots the
+    moments, subsequent vectors also enter a sliding window and
+    :meth:`shift_score` reports the largest per-feature
+    ``|window_mean - ref_mean| / ref_std`` — a unitless covariate-drift
+    score that needs no labels.
+
+    Example::
+
+        >>> monitor = FeatureDistributionMonitor(window=8)
+        >>> for _ in range(16):
+        ...     monitor.observe([1.0, 2.0])
+        >>> monitor.freeze_reference()
+        >>> monitor.shift_score() == 0.0
+        True
+    """
+
+    def __init__(self, window: int = 128) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._n = 0
+        self._mean: np.ndarray | None = None
+        self._m2: np.ndarray | None = None
+        self._reference: tuple[np.ndarray, np.ndarray] | None = None
+        self._recent: deque[np.ndarray] = deque(maxlen=self.window)
+
+    @property
+    def n_observed(self) -> int:
+        """Vectors absorbed into the running moments."""
+        return self._n
+
+    def observe(self, vector) -> None:
+        """Absorb one feature vector."""
+        vector = np.asarray(vector, dtype=float)
+        if self._mean is None:
+            self._mean = np.zeros_like(vector)
+            self._m2 = np.zeros_like(vector)
+        self._n += 1
+        delta = vector - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (vector - self._mean)
+        if self._reference is not None:
+            self._recent.append(vector)
+
+    def freeze_reference(self) -> None:
+        """Snapshot the current moments as the no-drift reference."""
+        if self._mean is None or self._n < 2:
+            raise ValueError("need at least 2 observations to freeze a reference")
+        std = np.sqrt(self._m2 / (self._n - 1))
+        self._reference = (self._mean.copy(), np.where(std > 0, std, 1.0))
+        self._recent.clear()
+
+    def shift_score(self) -> float:
+        """Largest per-feature standardised mean shift (0.0 until comparable)."""
+        if self._reference is None or not self._recent:
+            return 0.0
+        ref_mean, ref_std = self._reference
+        window_mean = np.mean(np.stack(self._recent), axis=0)
+        return float(np.max(np.abs(window_mean - ref_mean) / ref_std))
+
+    def reset(self) -> None:
+        """Forget moments, reference and window."""
+        self._n = 0
+        self._mean = None
+        self._m2 = None
+        self._reference = None
+        self._recent.clear()
+
+
+class DriftMonitor:
+    """Serve-path facade: verdict stream in, drift verdicts out.
+
+    Combines a :class:`~repro.analysis.streaming.WindowedErrorRate`, a
+    :class:`~repro.analysis.streaming.RollingReport` (rolling accuracy/F1
+    since the last reset) and the configured detector.  The controller calls
+    :meth:`observe` once per served verdict.
+    """
+
+    def __init__(self, config: OnlineConfig) -> None:
+        self.config = config
+        self.windowed = WindowedErrorRate(config.window)
+        self.report = RollingReport()
+        self.features = FeatureDistributionMonitor(window=config.window)
+        self._page_hinkley = PageHinkley(
+            delta=config.ph_delta,
+            threshold=config.ph_threshold,
+            min_samples=config.warmup_flows,
+        )
+        self._n = 0
+
+    @property
+    def n_observed(self) -> int:
+        """Verdicts observed since the last reset."""
+        return self._n
+
+    @property
+    def error_rate(self) -> float:
+        """Sliding-window error rate."""
+        return self.windowed.rate
+
+    def observe(self, y_true: int, y_pred: int) -> bool:
+        """Absorb one verdict; returns ``True`` when drift is detected."""
+        error = int(y_true) != int(y_pred)
+        self.windowed.update(error)
+        self.report.update(y_true, y_pred)
+        self._n += 1
+        if self.config.detector == "page-hinkley":
+            return self._page_hinkley.update(1.0 if error else 0.0)
+        return (
+            self._n >= self.config.warmup_flows
+            and self.windowed.count >= self.config.window
+            and self.windowed.rate >= self.config.error_threshold
+        )
+
+    def reset(self) -> None:
+        """Re-arm after a model swap: forget errors, stats and alarms."""
+        self.windowed.reset()
+        self.report.reset()
+        self._page_hinkley.reset()
+        self._n = 0

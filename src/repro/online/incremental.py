@@ -1,0 +1,529 @@
+"""Incremental refresh of a partitioned tree from streamed sufficient stats.
+
+A full :func:`repro.core.partitioned_tree.train_partitioned_tree` run sorts
+every feature column of every node — fine offline, wasteful on the serve
+path.  The :class:`HoeffdingSubtreeLearner` instead folds each newly
+labelled flow into per-leaf histograms over the *existing quantized feature
+space* (the deployed :class:`~repro.core.range_marking.FeatureQuantizer`
+buckets values into a coarse grid of :data:`DEFAULT_BINS` bins) and splits a
+leaf only when the Hoeffding bound says the best feature's impurity gain
+beats the runner-up with confidence ``1 - delta`` — the classic VFDT
+argument, scored by :func:`repro.ml.splitter.split_gains_from_counts` so
+the gain arithmetic is shared with the offline splitter.
+
+:class:`IncrementalPartitionedTrainer` reproduces Algorithm 1's recursive
+conditioning with these learners: every *deferring* leaf (depth budget
+reached, impure, majority fraction below ``exit_confidence``) of a
+partition-``p`` subtree spawns its own partition-``p + 1`` learner trained
+only on the flows that reached that leaf, so later subtrees specialise
+per-branch exactly like the offline chain.  Each learner keeps its own
+``k``-feature budget, matching the per-subtree constraint of the deployed
+model shape — the refreshed model compiles through the unchanged
+:func:`~repro.core.range_marking.generate_rules` path.
+
+Emitted thresholds live in *raw* feature space (midpoints between the raw
+representatives of adjacent non-empty bins), so rule generation quantises
+them exactly as it does for offline CART thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.config import SpliDTConfig
+from repro.core.partitioned_tree import (
+    OUTCOME_EXIT,
+    OUTCOME_NEXT,
+    LeafOutcome,
+    PartitionedDecisionTree,
+    Subtree,
+)
+from repro.core.range_marking import FeatureQuantizer
+from repro.ml._tree import LEAF, Tree
+from repro.ml.splitter import node_impurity, split_gains_from_counts
+
+#: Histogram bins per feature — a coarse grid over the quantized domain.
+DEFAULT_BINS = 64
+
+
+class _LeafStats:
+    """Sufficient statistics of one growing leaf.
+
+    ``bins[feature][bin_index]`` holds ``[class_counts, raw_min, raw_max]``
+    for the samples whose quantized feature value fell into that bin; the
+    raw extrema are the bin's representatives when a threshold between two
+    bins must be emitted in raw feature space.
+    """
+
+    __slots__ = ("class_counts", "bins", "since_check")
+
+    def __init__(self, n_classes: int, seed_counts: np.ndarray | None = None) -> None:
+        if seed_counts is None:
+            self.class_counts = np.zeros(n_classes, dtype=float)
+        else:
+            self.class_counts = np.asarray(seed_counts, dtype=float).copy()
+        self.bins: dict[int, dict[int, list]] = {}
+        self.since_check = 0
+
+
+class _Node:
+    """Growing-tree node: a leaf (``feature is None``) or a split."""
+
+    __slots__ = ("depth", "feature", "threshold", "left", "right", "stats")
+
+    def __init__(self, depth: int, stats: _LeafStats) -> None:
+        self.depth = depth
+        self.feature: int | None = None
+        self.threshold = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.stats: _LeafStats | None = stats
+
+
+class FrozenTreeClassifier:
+    """Read-only estimator over a frozen :class:`~repro.ml._tree.Tree`.
+
+    Exposes the surface :class:`~repro.core.partitioned_tree.Subtree` and
+    :func:`~repro.core.range_marking.generate_subtree_rules` consume from a
+    :class:`~repro.ml.tree.DecisionTreeClassifier` — ``tree_``,
+    ``classes_``, ``apply``/``predict`` and the structure accessors — so a
+    streamed tree drops into the deployed model format unchanged.
+    """
+
+    def __init__(self, tree: Tree, n_classes: int) -> None:
+        self.tree_ = tree
+        self.classes_ = np.arange(n_classes)
+        self.n_classes_ = n_classes
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node id reached by every row of ``X``."""
+        return self.tree_.apply(np.asarray(X, dtype=float))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-class prediction per row."""
+        values = self.tree_.predict_value(np.asarray(X, dtype=float))
+        return self.classes_[np.argmax(values, axis=1)]
+
+    def features_used(self) -> set[int]:
+        """Distinct feature indices tested anywhere in the tree."""
+        return self.tree_.features_used()
+
+    def get_depth(self) -> int:
+        """Realised depth."""
+        return self.tree_.max_depth
+
+    def get_n_leaves(self) -> int:
+        """Leaf count."""
+        return self.tree_.n_leaves
+
+
+class HoeffdingSubtreeLearner:
+    """One streaming CART subtree over binned sufficient statistics.
+
+    Args:
+        n_classes: Label-space size.
+        max_depth: Depth budget of this subtree (its partition size).
+        quantizer: The deployed feature quantizer; its grid defines the
+            histogram bins, keeping the learner on the existing quantized
+            feature space.
+        max_distinct_features: Per-subtree feature budget ``k`` (``None``
+            disables the budget).
+        criterion: ``"gini"`` or ``"entropy"``.
+        min_samples_leaf: Minimum samples on each side of a split.
+        delta: Hoeffding confidence parameter (split when the observed gain
+            margin exceeds the bound at confidence ``1 - delta``).
+        grace_period: Samples a leaf absorbs between split attempts.
+        tie_threshold: Bound below which near-ties split anyway (VFDT's
+            ``tau`` — prevents stalling on two equally good features).
+        n_bins: Histogram bins per feature.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_classes: int,
+        max_depth: int,
+        quantizer: FeatureQuantizer,
+        max_distinct_features: int | None = None,
+        criterion: str = "gini",
+        min_samples_leaf: int = 2,
+        delta: float = 1e-3,
+        grace_period: int = 24,
+        tie_threshold: float = 0.05,
+        n_bins: int = DEFAULT_BINS,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        scales = quantizer._check_fitted()
+        self.n_classes = int(n_classes)
+        self.max_depth = int(max_depth)
+        self.quantizer = quantizer
+        self.max_distinct_features = max_distinct_features
+        self.criterion = criterion
+        self.min_samples_leaf = max(1, int(min_samples_leaf))
+        self.delta = float(delta)
+        self.grace_period = max(1, int(grace_period))
+        self.tie_threshold = float(tie_threshold)
+        self.n_bins = min(int(n_bins), quantizer.max_level + 1)
+        self.n_features = int(scales.size)
+        self.used_features: set[int] = set()
+        self.n_seen = 0
+        self._root = _Node(0, _LeafStats(self.n_classes))
+
+    def observe(self, vector, label: int) -> None:
+        """Fold one labelled feature vector into the tree's statistics."""
+        vector = np.asarray(vector, dtype=float)
+        label = int(label)
+        self.n_seen += 1
+        node = self._route(vector)
+        stats = node.stats
+        stats.class_counts[label] += 1
+        # One vectorized quantize per sample; the coarse bin is the top
+        # log2(n_bins) bits of the quantized level.
+        quantized = self.quantizer.quantize_row(vector)
+        bin_indices = (quantized * self.n_bins) // (self.quantizer.max_level + 1)
+        for feature in range(self.n_features):
+            feature_bins = stats.bins.setdefault(feature, {})
+            entry = feature_bins.get(int(bin_indices[feature]))
+            raw = float(vector[feature])
+            if entry is None:
+                counts = np.zeros(self.n_classes, dtype=float)
+                counts[label] = 1.0
+                feature_bins[int(bin_indices[feature])] = [counts, raw, raw]
+            else:
+                entry[0][label] += 1.0
+                if raw < entry[1]:
+                    entry[1] = raw
+                if raw > entry[2]:
+                    entry[2] = raw
+        stats.since_check += 1
+        if node.depth < self.max_depth and stats.since_check >= self.grace_period:
+            stats.since_check = 0
+            self._attempt_split(node)
+
+    def _route(self, vector: np.ndarray) -> _Node:
+        node = self._root
+        while node.feature is not None:
+            node = node.left if vector[node.feature] <= node.threshold else node.right
+        return node
+
+    def _candidate_features(self) -> set[int] | None:
+        """Features the budget still allows (``None`` = unrestricted)."""
+        if (
+            self.max_distinct_features is not None
+            and len(self.used_features) >= self.max_distinct_features
+        ):
+            return self.used_features
+        return None
+
+    def _best_cut(self, feature_bins: dict[int, list]):
+        """Best (gain, threshold, left_counts, right_counts) of one feature."""
+        if len(feature_bins) < 2:
+            return None
+        keys = sorted(feature_bins)
+        counts = np.stack([feature_bins[key][0] for key in keys])
+        prefix = np.cumsum(counts, axis=0)
+        left = prefix[:-1]
+        right = prefix[-1] - left
+        gains = split_gains_from_counts(left, right, self.criterion)
+        valid = (left.sum(axis=1) >= self.min_samples_leaf) & (
+            right.sum(axis=1) >= self.min_samples_leaf
+        )
+        if not valid.any():
+            return None
+        masked = np.where(valid, gains, -np.inf)
+        cut = int(np.argmax(masked))
+        gain = float(masked[cut])
+        left_max = feature_bins[keys[cut]][2]
+        right_min = feature_bins[keys[cut + 1]][1]
+        threshold = (left_max + right_min) / 2.0
+        # Guard against degenerate midpoints caused by float rounding (the
+        # raw compare is `value <= threshold`, so the left bin's maximum is
+        # always a safe threshold).
+        if threshold >= right_min:
+            threshold = left_max
+        return gain, float(threshold), left[cut], right[cut]
+
+    def _attempt_split(self, node: _Node) -> None:
+        stats = node.stats
+        total = stats.class_counts.sum()
+        if total < 2 * self.min_samples_leaf:
+            return
+        if node_impurity(stats.class_counts, self.criterion) <= 0.0:
+            return
+        allowed = self._candidate_features()
+        best = second_gain = -np.inf
+        best_feature = None
+        best_cut = None
+        for feature, feature_bins in stats.bins.items():
+            if allowed is not None and feature not in allowed:
+                continue
+            candidate = self._best_cut(feature_bins)
+            if candidate is None:
+                continue
+            if candidate[0] > best:
+                second_gain = best
+                best = candidate[0]
+                best_feature = feature
+                best_cut = candidate
+            elif candidate[0] > second_gain:
+                second_gain = candidate[0]
+        if best_feature is None or best <= 1e-12:
+            return
+        if second_gain == -np.inf:
+            second_gain = 0.0
+        # Hoeffding bound on the gain difference: the impurity range R is 1
+        # for gini and log2(C) for entropy.
+        signal_range = 1.0 if self.criterion == "gini" else math.log2(max(self.n_classes, 2))
+        epsilon = signal_range * math.sqrt(math.log(1.0 / self.delta) / (2.0 * total))
+        if best - second_gain > epsilon or epsilon < self.tie_threshold:
+            self._split(node, best_feature, best_cut)
+
+    def _split(self, node: _Node, feature: int, cut) -> None:
+        _, threshold, left_counts, right_counts = cut
+        node.feature = int(feature)
+        node.threshold = threshold
+        node.left = _Node(node.depth + 1, _LeafStats(self.n_classes, left_counts))
+        node.right = _Node(node.depth + 1, _LeafStats(self.n_classes, right_counts))
+        node.stats = None
+        self.used_features.add(int(feature))
+
+    def force_expand(self) -> int:
+        """Greedily split every eligible leaf on its best accumulated cut.
+
+        The Hoeffding bound guards against committing too early on an
+        *unbounded* stream; a retrain buffer is finite, so once a full pass
+        over it has been folded in there is no more evidence coming and
+        waiting is pure loss.  Calling this between passes (and after the
+        last one, before :meth:`freeze`) expands each leaf one level from
+        its histograms — a batch greedy split on the binned sufficient
+        statistics.  Fresh children start with the cut's class counts and
+        empty histograms, so each sweep deepens the tree by at most one
+        level and the next pass refills the new leaves.  Returns the number
+        of splits made.
+        """
+        n_splits = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.feature is not None:
+                stack.append(node.left)
+                stack.append(node.right)
+                continue
+            if node.depth >= self.max_depth:
+                continue
+            stats = node.stats
+            if stats.class_counts.sum() < 2 * self.min_samples_leaf:
+                continue
+            if node_impurity(stats.class_counts, self.criterion) <= 0.0:
+                continue
+            allowed = self._candidate_features()
+            best = -np.inf
+            best_feature = None
+            best_cut = None
+            for feature, feature_bins in stats.bins.items():
+                if allowed is not None and feature not in allowed:
+                    continue
+                candidate = self._best_cut(feature_bins)
+                if candidate is None:
+                    continue
+                if candidate[0] > best:
+                    best = candidate[0]
+                    best_feature = feature
+                    best_cut = candidate
+            if best_feature is None or best <= 1e-12:
+                continue
+            self._split(node, best_feature, best_cut)
+            n_splits += 1
+        return n_splits
+
+    def freeze(self) -> FrozenTreeClassifier:
+        """Materialise the grown tree as a frozen, rule-compilable estimator."""
+        tree = Tree(n_features=self.n_features, n_outputs=self.n_classes)
+
+        def emit(node: _Node, depth: int):
+            if node.feature is None:
+                counts = node.stats.class_counts
+                node_id = tree.add_node(
+                    feature=LEAF,
+                    threshold=0.0,
+                    depth=depth,
+                    n_samples=int(counts.sum()),
+                    value=counts,
+                    impurity=node_impurity(counts, self.criterion),
+                )
+                return node_id, counts
+            node_id = tree.add_node(
+                feature=node.feature,
+                threshold=node.threshold,
+                depth=depth,
+                n_samples=0,
+                value=np.zeros(self.n_classes, dtype=float),
+                impurity=0.0,
+            )
+            left_id, left_counts = emit(node.left, depth + 1)
+            right_id, right_counts = emit(node.right, depth + 1)
+            tree.set_children(node_id, left_id, right_id)
+            counts = left_counts + right_counts
+            grown = tree.nodes[node_id]
+            grown.value = counts
+            grown.n_samples = int(counts.sum())
+            grown.impurity = node_impurity(counts, self.criterion)
+            return node_id, counts
+
+        emit(self._root, 0)
+        return FrozenTreeClassifier(tree, self.n_classes)
+
+
+class IncrementalPartitionedTrainer:
+    """Refreshes a whole partitioned tree from buffered labelled flows.
+
+    ``add_flow`` ingests ``(windows, label)`` pairs (the per-partition
+    feature matrix :meth:`repro.features.flowmeter.FlowMeter.extract_windows`
+    produces); :meth:`build_model` then grows Hoeffding subtrees with
+    Algorithm 1's recursive conditioning — one child subtree per deferring
+    leaf, trained only on the flows that reached it — from streamed
+    statistics instead of recursive CART fits.
+
+    Args:
+        config: The deployed model shape (depth, ``k``, partition sizes);
+            the refreshed model keeps it so the swap is table-compatible.
+        n_classes: Label-space size.
+        class_names: Optional class names for the refreshed model.
+        quantizer: The deployed quantizer, defining the histogram grid.
+        exit_confidence: Leaf majority fraction at or above which a
+            non-final leaf exits instead of chaining.
+        passes: Passes over the buffered flows per stage (>1 lets the
+            Hoeffding bounds converge on small retrain windows).
+        delta / grace_period / tie_threshold: Per-learner split knobs.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: SpliDTConfig,
+        n_classes: int,
+        class_names=(),
+        quantizer: FeatureQuantizer,
+        exit_confidence: float = 0.95,
+        passes: int = 2,
+        delta: float = 1e-3,
+        grace_period: int = 24,
+        tie_threshold: float = 0.05,
+    ) -> None:
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1, got {passes}")
+        self.config = config
+        self.n_classes = int(n_classes)
+        self.class_names = list(class_names)
+        self.quantizer = quantizer
+        self.exit_confidence = float(exit_confidence)
+        self.passes = int(passes)
+        self.delta = float(delta)
+        self.grace_period = int(grace_period)
+        self.tie_threshold = float(tie_threshold)
+        self._flows: list[tuple[np.ndarray, int]] = []
+        self._class_totals = np.zeros(self.n_classes, dtype=float)
+
+    @property
+    def n_flows(self) -> int:
+        """Labelled flows buffered so far."""
+        return len(self._flows)
+
+    def add_flow(self, windows: np.ndarray, label: int) -> None:
+        """Buffer one labelled flow's per-partition window features."""
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 2 or windows.shape[0] < self.config.n_partitions:
+            raise ValueError(
+                f"windows must be (>= {self.config.n_partitions}, n_features), "
+                f"got {windows.shape}"
+            )
+        label = int(label)
+        if not 0 <= label < self.n_classes:
+            raise ValueError(f"label {label} outside [0, {self.n_classes})")
+        self._flows.append((windows, label))
+        self._class_totals[label] += 1
+
+    def build_model(self) -> PartitionedDecisionTree:
+        """Grow the refreshed partitioned model from everything buffered.
+
+        Mirrors the recursive structure of Algorithm 1 exactly: every
+        *deferring* leaf of a partition-``p`` subtree spawns its own
+        partition-``p + 1`` subtree trained only on the flows that reached
+        that leaf, so later subtrees specialise per-branch just like the
+        offline CART chain.  A leaf defers only when it reached its
+        partition's depth budget, holds flows of more than one class, and
+        its majority fraction is below ``exit_confidence``.
+        """
+        if not self._flows:
+            raise ValueError("no flows buffered; add_flow some labelled flows first")
+        n_partitions = self.config.n_partitions
+        default_label = int(np.argmax(self._class_totals))
+        subtrees: dict[int, Subtree] = {}
+        flows = self._flows
+        next_sid = [1]
+
+        def grow(indices: np.ndarray, partition: int) -> int:
+            sid = next_sid[0]
+            next_sid[0] += 1
+            learner = HoeffdingSubtreeLearner(
+                n_classes=self.n_classes,
+                max_depth=self.config.partition_sizes[partition],
+                quantizer=self.quantizer,
+                max_distinct_features=self.config.features_per_subtree,
+                criterion=self.config.criterion,
+                min_samples_leaf=max(2, self.config.min_samples_leaf),
+                delta=self.delta,
+                grace_period=self.grace_period,
+                tie_threshold=self.tie_threshold,
+            )
+            for _ in range(self.passes):
+                for index in indices:
+                    windows, label = flows[index]
+                    learner.observe(windows[partition], label)
+                # The buffer is finite: after a full pass there is no more
+                # evidence coming, so expand greedily instead of waiting on
+                # the Hoeffding bound (each pass deepens by <= one level).
+                learner.force_expand()
+            estimator = learner.freeze()
+            subtree = Subtree(
+                sid=sid,
+                partition=partition,
+                tree=estimator,
+                n_training_samples=int(indices.size),
+            )
+            subtrees[sid] = subtree
+            stage_matrix = np.stack([flows[index][0][partition] for index in indices])
+            leaf_ids = estimator.tree_.apply(stage_matrix)
+            last = partition == n_partitions - 1
+            for leaf in estimator.tree_.leaves():
+                leaf_indices = indices[leaf_ids == leaf.node_id]
+                counts = leaf.value
+                total = counts.sum()
+                majority = int(np.argmax(counts)) if total > 0 else default_label
+                confident = (
+                    total > 0 and counts[majority] / total >= self.exit_confidence
+                )
+                reached_budget = leaf.depth >= self.config.partition_sizes[partition]
+                if last or not reached_budget or confident or leaf_indices.size == 0:
+                    subtree.outcomes[leaf.node_id] = LeafOutcome(
+                        kind=OUTCOME_EXIT, label=majority
+                    )
+                    continue
+                child_sid = grow(leaf_indices, partition + 1)
+                subtree.outcomes[leaf.node_id] = LeafOutcome(
+                    kind=OUTCOME_NEXT, next_sid=child_sid
+                )
+            return sid
+
+        grow(np.arange(len(flows), dtype=np.intp), 0)
+        return PartitionedDecisionTree(
+            config=self.config,
+            subtrees=subtrees,
+            root_sid=1,
+            n_classes=self.n_classes,
+            class_names=self.class_names,
+            default_label=default_label,
+        )

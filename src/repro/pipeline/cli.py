@@ -7,7 +7,11 @@ Subcommands:
 * ``replay`` — reload a saved run directory and replay it (no retraining).
 * ``serve`` — stream the experiment's packets through a deployed model with
   a streaming inference engine, emitting verdict digests and rolling
-  TTD/recirculation statistics as they happen.
+  TTD/recirculation statistics as they happen.  ``--online`` attaches the
+  drift-detect / retrain / hot-swap loop (:mod:`repro.online`).
+* ``online-demo`` — the phase-change scenario end to end: a static model
+  collapses mid-stream, the online loop detects it, retrains incrementally
+  and swaps the refreshed model in without touching in-flight flows.
 * ``list-datasets`` — the D1–D7 catalogue, plus registered systems/scenarios.
 * ``compare`` — run several systems on one dataset and print a comparison
   table (the shape of the paper's headline tables); ``--json`` emits
@@ -23,6 +27,7 @@ import time
 
 from repro.analysis.reporting import render_table
 from repro.dataplane.runtime import REPLAY_ENGINES
+from repro.online.config import DETECTORS
 from repro.datasets.profiles import DATASET_KEYS
 from repro.datasets.registry import dataset_summary
 from repro.pipeline.artifacts import load_run, save_run
@@ -94,6 +99,18 @@ def _spec_from_args(args: argparse.Namespace, *, system: str | None = None) -> E
         value = getattr(args, flag, None)
         if value is not None:
             serve_overrides[field_name] = value
+    online_overrides = {}
+    if getattr(args, "online", False):
+        online_overrides["enabled"] = True
+    for flag, field_name in (("drift_detector", "detector"),
+                             ("drift_window", "window"),
+                             ("min_retrain_flows", "min_retrain_flows"),
+                             ("cooldown_flows", "cooldown_flows")):
+        value = getattr(args, flag, None)
+        if value is not None:
+            online_overrides[field_name] = value
+    if online_overrides:
+        serve_overrides["online"] = spec.serve.online.replace(**online_overrides)
     if serve_overrides:
         overrides["serve"] = spec.serve.replace(**serve_overrides)
     return spec.replace(**overrides).validate()
@@ -188,6 +205,24 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args, system=args.system)
     experiment = Experiment(spec)
+    controller = None
+    if spec.serve.online.enabled:
+        if spec.system != "splidt":
+            print("error: --online requires the splidt system (incremental "
+                  "retraining targets partitioned trees)", file=sys.stderr)
+            return 2
+        from repro.online import OnlineController
+
+        dataset = experiment.prepare().dataset
+        controller = OnlineController(
+            config=spec.serve.online,
+            model_config=spec.model_config(),
+            flow_slots=spec.flow_slots,
+            n_classes=len(dataset.class_names),
+            class_names=dataset.class_names,
+            rules=experiment.compile(),
+            lookup=spec.lookup,
+        )
     engine = experiment.serve_engine()
     serve = spec.serve
     parallelism = ""
@@ -196,20 +231,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     elif serve.engine == "sharded-mp":
         parallelism = (f", {serve.workers} worker processes"
                        + (f" ({serve.spawn_method})" if serve.spawn_method else ""))
+    online_note = f", online {serve.online.detector}" if controller else ""
     print(f"serving           : {spec.system} on {spec.dataset} "
-          f"({serve.engine} engine{parallelism}, chunks of {serve.chunk_size} pkts)")
+          f"({serve.engine} engine{parallelism}, chunks of {serve.chunk_size} pkts"
+          f"{online_note})")
 
     reported: set[int] = set()
+    alarms_reported = 0
     started = time.perf_counter()
     engine.open()
     try:
         for index, chunk in enumerate(experiment.packet_stream(), start=1):
             engine.ingest(chunk)
+            if controller is not None:
+                swap = controller.observe_chunk(engine, chunk)
+                alarms_reported = _emit_online_events(controller, alarms_reported)
+                if swap is not None:
+                    print(f"model swap        : epoch {swap.epoch} after "
+                          f"{controller.n_verdicts} verdicts "
+                          f"({swap.latency_s * 1e3:.1f} ms build, "
+                          f"{swap.pinned_flows} in-flight flows pinned to the "
+                          f"old model)")
             if args.digests:
                 reported = _emit_digests(engine, reported)
             if args.progress_every and index % args.progress_every == 0:
                 print(_progress_line(index, engine.stats()))
         engine.drain()
+        if controller is not None:
+            controller.poll(engine, allow_swap=False)
+            _emit_online_events(controller, alarms_reported)
         if args.digests:
             _emit_digests(engine, reported)
         result = engine.close()
@@ -230,7 +280,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if result.recirculation:
         print(f"recirculation     : {int(result.recirculation.get('packets', 0))} packets "
               f"({result.recirculation.get('utilisation', 0.0) * 100:.5f}% of the path)")
+    if controller is not None:
+        summary = controller.summary()
+        latencies = ", ".join(f"{s * 1e3:.1f} ms" for s in summary["swap_latency_s"])
+        print(f"online loop       : {summary['drift_alarms']} drift alarm(s), "
+              f"{summary['swaps']} swap(s)"
+              + (f" (latency {latencies})" if latencies else "")
+              + f", final state {summary['state']}")
     return 0
+
+
+def _emit_online_events(controller, reported: int) -> int:
+    """Print online-loop drift alarms that appeared since the last call."""
+    events = [e for e in controller.events if e.kind == "drift"]
+    for event in events[reported:]:
+        print(f"drift alarm       : {event.detail.get('detector')} fired after "
+              f"{event.n_verdicts} verdicts "
+              f"(windowed error rate {event.error_rate:.3f}); buffering "
+              f"labelled flows for retrain")
+    return len(events)
 
 
 def _progress_line(chunk_index: int, stats) -> str:
@@ -261,6 +329,60 @@ def _emit_digests(engine, reported: set[int]) -> set[int]:
               f"recirc {verdict.n_recirculations}"
               + ("  early-exit" if verdict.early_exit else ""))
     return reported
+
+
+def _cmd_online_demo(args: argparse.Namespace) -> int:
+    from repro.online import run_phase_change_demo
+
+    result = run_phase_change_demo(
+        dataset=args.dataset,
+        train_flows=args.train_flows,
+        serve_flows=args.serve_flows,
+        seed=args.seed,
+        shift_at=args.shift_at,
+        engine=args.serve_engine,
+        chunk_size=args.chunk_size,
+        flow_slots=args.flow_slots,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        static, online = result["static"], result["online"]
+        print(f"phase-change demo : {result['dataset']}, "
+              f"{result['serve_flows']} flows, shift at {result['shift_at']:.0%} "
+              f"({args.serve_engine} engine)")
+        print(f"static model      : F1 {static['pre_f1']:.3f} pre-shift -> "
+              f"{static['post_f1']:.3f} post-shift (drop {static['drop']:.3f})")
+        for event in result["events"]:
+            if event["kind"] == "drift":
+                print(f"drift alarm       : after {event['n_verdicts']} verdicts "
+                      f"(windowed error rate {event['error_rate']:.3f})")
+            elif event["kind"] == "swap":
+                print(f"model swap        : epoch {event['epoch']} after "
+                      f"{event['n_verdicts']} verdicts "
+                      f"({event['latency_s'] * 1e3:.1f} ms build, "
+                      f"{event['retrain_flows']} retrain flows, "
+                      f"{event['pinned_flows']} in-flight flows pinned)")
+        print(f"online model      : F1 {online['post_swap_f1']:.3f} on the "
+              f"{online['post_swap_flows']} post-swap flows "
+              f"(recovery gap {online['recovery_gap']:.3f} vs pre-shift)")
+        print(f"pre-swap verdicts : "
+              + ("bit-identical to the no-swap replay"
+                 if result["pre_swap_bit_identical"]
+                 else "DIVERGED from the no-swap replay"))
+    if args.assert_recovery:
+        ok = (result["static_drop_ok"] and result["recovered"]
+              and result["pre_swap_bit_identical"])
+        if not ok:
+            print("error: recovery assertion failed "
+                  f"(static_drop_ok={result['static_drop_ok']}, "
+                  f"recovered={result['recovered']}, "
+                  f"pre_swap_bit_identical={result['pre_swap_bit_identical']})",
+                  file=sys.stderr)
+            return 1
+        print("recovery asserted : static collapse, online recovery and "
+              "pre-swap bit-exactness all hold")
+    return 0
 
 
 def _cmd_list_datasets(args: argparse.Namespace) -> int:
@@ -392,7 +514,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print rolling stats every N chunks (0 = quiet)")
     serve.add_argument("--digests", action="store_true",
                        help="print each verdict digest as it is emitted")
+    serve.add_argument("--online", action="store_true",
+                       help="attach the online loop: drift detection, "
+                            "incremental retraining, model hot-swap")
+    serve.add_argument("--drift-detector", dest="drift_detector", choices=DETECTORS,
+                       help="drift detector on the verdict error stream "
+                            "(default: page-hinkley)")
+    serve.add_argument("--drift-window", type=int, dest="drift_window",
+                       help="sliding window of the rolling error-rate monitor")
+    serve.add_argument("--min-retrain-flows", type=int, dest="min_retrain_flows",
+                       help="labelled flows buffered after an alarm before "
+                            "the retrain + swap fires")
+    serve.add_argument("--cooldown-flows", type=int, dest="cooldown_flows",
+                       help="verdicts to skip after a swap before monitoring resumes")
     serve.set_defaults(func=_cmd_serve)
+
+    online_demo = sub.add_parser(
+        "online-demo",
+        help="phase-change demo: drift hits, the online loop detects, "
+             "retrains and hot-swaps")
+    online_demo.add_argument("--dataset", choices=DATASET_KEYS, default="D7",
+                             help="dataset profile (default: D7)")
+    online_demo.add_argument("--flows", type=int, default=600, dest="serve_flows",
+                             help="flows in the drifting serve stream")
+    online_demo.add_argument("--train-flows", type=int, default=360, dest="train_flows",
+                             help="flows the static model is trained on")
+    online_demo.add_argument("--seed", type=int, default=7, help="generator seed")
+    online_demo.add_argument("--shift-at", type=float, default=0.5, dest="shift_at",
+                             help="stream fraction where behaviour rotates")
+    online_demo.add_argument("--serve-engine", dest="serve_engine",
+                             choices=SERVE_ENGINES, default="microbatch",
+                             help="inference engine (default: microbatch)")
+    online_demo.add_argument("--chunk-size", type=int, default=64, dest="chunk_size",
+                             help="packets per ingested chunk")
+    online_demo.add_argument("--flow-slots", type=int, default=8192, dest="flow_slots",
+                             help="register slots of the data-plane program")
+    online_demo.add_argument("--json", action="store_true",
+                             help="emit the full machine-readable result")
+    online_demo.add_argument("--assert-recovery", action="store_true",
+                             dest="assert_recovery",
+                             help="exit non-zero unless the static model "
+                                  "collapses, the online loop recovers, and "
+                                  "pre-swap verdicts are bit-identical")
+    online_demo.set_defaults(func=_cmd_online_demo)
 
     list_datasets = sub.add_parser("list-datasets",
                                    help="list datasets, systems and scenarios")

@@ -18,6 +18,7 @@ from repro.core.config import SpliDTConfig, TopKConfig
 from repro.core.range_marking import LOOKUP_MODES
 from repro.dataplane.runtime import REPLAY_ENGINES
 from repro.datasets.profiles import DATASET_KEYS
+from repro.online.config import OnlineConfig, OnlineConfigError
 from repro.serve.engine import SERVE_ENGINES
 from repro.serve.process_sharded import START_METHODS as SPAWN_METHODS
 from repro.switch.targets import TARGETS, TargetSpec, get_target
@@ -57,6 +58,9 @@ class ServeConfig:
         chunk_size: Packets per ingested chunk when streaming a dataset.
         backpressure: Buffered-packet limit before ingestion errors
             (micro-batch) or blocks (sharded queues).
+        online: Online-loop settings (:class:`repro.online.OnlineConfig`) —
+            drift detection, incremental retraining and model hot swap.
+            Disabled unless ``online.enabled`` is set (``serve --online``).
     """
 
     engine: str = "microbatch"
@@ -65,6 +69,11 @@ class ServeConfig:
     spawn_method: str | None = None
     chunk_size: int = 256
     backpressure: int = 1_000_000
+    online: OnlineConfig = OnlineConfig()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.online, dict):
+            object.__setattr__(self, "online", OnlineConfig(**self.online))
 
     def validate(self) -> "ServeConfig":
         """Check the serving settings; raises :class:`SpecError`."""
@@ -88,6 +97,10 @@ class ServeConfig:
                 f"serve backpressure ({self.backpressure}) must be >= "
                 f"chunk_size ({self.chunk_size})"
             )
+        try:
+            self.online.validate()
+        except OnlineConfigError as exc:
+            raise SpecError(f"serve online config: {exc}") from exc
         return self
 
     def replace(self, **changes) -> "ServeConfig":
@@ -280,11 +293,20 @@ class ExperimentSpec:
         if payload.get("partition_sizes") is not None:
             payload["partition_sizes"] = tuple(payload["partition_sizes"])
         if isinstance(payload.get("serve"), dict):
-            serve_payload = payload["serve"]
+            serve_payload = dict(payload["serve"])
             serve_known = {f.name for f in fields(ServeConfig)}
             serve_unknown = set(serve_payload) - serve_known
             if serve_unknown:
                 raise SpecError(f"unknown serve fields: {sorted(serve_unknown)}")
+            if isinstance(serve_payload.get("online"), dict):
+                online_payload = serve_payload["online"]
+                online_known = {f.name for f in fields(OnlineConfig)}
+                online_unknown = set(online_payload) - online_known
+                if online_unknown:
+                    raise SpecError(
+                        f"unknown serve online fields: {sorted(online_unknown)}"
+                    )
+                serve_payload["online"] = OnlineConfig(**online_payload)
             payload["serve"] = ServeConfig(**serve_payload)
         return cls(**payload)
 

@@ -30,6 +30,7 @@ from repro.serve.engine import (
     EngineStats,
     InferenceEngine,
     ServeError,
+    SwapEvent,
     channel_aggregate,
     merge_channel_aggregates,
     merged_recirculation_stats,
@@ -119,6 +120,7 @@ __all__ = [
     "ServeError",
     "ShardedEngine",
     "StreamingEngine",
+    "SwapEvent",
     "channel_aggregate",
     "create_engine",
     "merge_channel_aggregates",

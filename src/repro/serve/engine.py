@@ -46,6 +46,8 @@ Concrete engines:
 from __future__ import annotations
 
 import abc
+import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -100,6 +102,40 @@ class EngineStats:
     accuracy: float
     ttd: dict[str, float] = field(default_factory=dict)
     recirculation: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """Record of one :meth:`InferenceEngine.swap_model` call.
+
+    Attributes:
+        epoch: Model epoch installed by this swap (the pre-swap model is
+            epoch 0; the first swap installs epoch 1).
+        latency_s: Wall-clock seconds spent building the successor engine —
+            program construction plus eager LUT compilation, all performed
+            off the serving thread.
+        buffered_packets: Packets ingested but not yet pushed through a
+            program at the moment of the swap (the in-flight backlog).
+        pinned_slots: Register slots kept on their pre-swap model because a
+            flow there was still in flight (or collision/duplicate-tuple
+            state made the slot unsafe to rebind).
+        pinned_flows: Flows with delivered packets that had not yet seen
+            their last packet at the swap — these finish on the old model.
+        watermark: Stream watermark (last ingested timestamp) at the swap;
+            ``-inf`` when the swap preceded the first packet.
+        flows_started: Flows with at least one delivered packet at the swap.
+        started_flow_ids: Ids of those flows — the set whose verdicts must be
+            bit-identical to a no-swap replay of the old model.
+    """
+
+    epoch: int
+    latency_s: float
+    buffered_packets: int
+    pinned_slots: int
+    pinned_flows: int
+    watermark: float
+    flows_started: int
+    started_flow_ids: frozenset = frozenset()
 
 
 def channel_aggregate(program) -> tuple | None:
@@ -197,6 +233,14 @@ class InferenceEngine(abc.ABC):
         self._rolling_report = RollingReport()
         self._scored: set[int] = set()
         self._result: ReplayResult | None = None
+        # --- model hot-swap state (see swap_model) ---
+        self._delivered: np.ndarray | None = None
+        self._epoch_children: list["InferenceEngine"] = []
+        self._slot_epoch: np.ndarray | None = None
+        self._flow_epoch: np.ndarray | None = None
+        self._swap_slots: np.ndarray | None = None
+        self._default_slot_epoch = 0
+        self._swap_events: list[SwapEvent] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -232,7 +276,10 @@ class InferenceEngine(abc.ABC):
         if self._state != "open":
             raise ServeError(f"cannot ingest() in state {self._state!r}; call open() first")
         self._register_chunk(chunk)
-        self._ingest(chunk)
+        if not self._epoch_children:
+            self._ingest(chunk)
+        else:
+            self._route_chunk(chunk)
 
     def drain(self) -> None:
         """End of stream: flush all buffered work through the program.
@@ -247,6 +294,8 @@ class InferenceEngine(abc.ABC):
         if self._state != "open":
             raise ServeError(f"cannot drain() in state {self._state!r}")
         self._drain()
+        for child in self._epoch_children:
+            child.drain()
         self._state = "drained"
 
     def close(self) -> ReplayResult:
@@ -268,6 +317,8 @@ class InferenceEngine(abc.ABC):
             self.verdicts(), self._labels, self.recirculation_stats()
         )
         self._state = "closed"
+        for child in self._epoch_children:
+            child.close()
         self._on_close()
         return self._result
 
@@ -287,19 +338,52 @@ class InferenceEngine(abc.ABC):
     # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
-    @abc.abstractmethod
     def verdicts(self) -> dict:
         """Snapshot of the verdicts recorded so far, keyed by flow id.
 
         Safe to call at any point of the lifecycle; monotone (a verdict
-        never disappears between calls).  The process-sharded engine pays a
-        synchronous per-worker round-trip while the stream is open — see
-        its override.
+        never disappears between calls).  After :meth:`swap_model` this is
+        the union over every model epoch (flow ids are globally unique, and
+        each flow is processed by exactly one epoch).  The process-sharded
+        engine pays a synchronous per-worker round-trip while the stream is
+        open — see its ``_engine_verdicts``.
         """
+        if not self._epoch_children:
+            return self._engine_verdicts()
+        merged = dict(self._engine_verdicts())
+        for child in self._epoch_children:
+            merged.update(child.verdicts())
+        return merged
+
+    @abc.abstractmethod
+    def _engine_verdicts(self) -> dict:
+        """This engine's own verdicts (excluding swapped-in epoch children)."""
 
     def recirculation_stats(self) -> dict[str, float]:
-        """Recirculation counters so far (empty without a recirc channel)."""
+        """Recirculation counters so far (empty without a recirc channel).
+
+        After :meth:`swap_model` the per-epoch channel aggregates are merged
+        bit-exactly (totals are additive; the submission interval is the
+        min/max over epochs), so a swap to an identical model leaves these
+        numbers untouched.
+        """
+        if not self._epoch_children:
+            return self._engine_recirculation_stats()
+        return merge_channel_aggregates(self._collect_channel_aggregates())
+
+    def _engine_recirculation_stats(self) -> dict[str, float]:
+        """This engine's own recirculation counters (no epoch children)."""
         return {}
+
+    def _engine_channel_aggregates(self) -> list:
+        """This engine's :func:`channel_aggregate` tuples (one per program)."""
+        return []
+
+    def _collect_channel_aggregates(self) -> list:
+        aggregates = list(self._engine_channel_aggregates())
+        for child in self._epoch_children:
+            aggregates.extend(child._collect_channel_aggregates())
+        return aggregates
 
     def stats(self) -> EngineStats:
         """Rolling statistics of the session (absorbs new verdicts).
@@ -323,10 +407,226 @@ class InferenceEngine(abc.ABC):
             chunks=self._chunks,
             flows_seen=int(self._seen.sum()) if self._seen is not None else 0,
             flows_decided=len(verdicts),
-            buffered_packets=self._buffered_packet_count(),
+            buffered_packets=self._total_buffered(),
             accuracy=self._rolling_report.accuracy,
             ttd=self._rolling_ttd.summary(),
             recirculation=self.recirculation_stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # Model hot swap
+    # ------------------------------------------------------------------
+    @property
+    def swap_events(self) -> list[SwapEvent]:
+        """One :class:`SwapEvent` per :meth:`swap_model` call, in order."""
+        return list(self._swap_events)
+
+    def swap_model(self, program_factory) -> SwapEvent:
+        """Atomically install a new model without dropping in-flight flows.
+
+        A successor engine of the same class is built from
+        ``program_factory`` on a worker thread — program construction and
+        eager LUT compilation (``rules.compiled_lookup()``) happen off the
+        serving thread — and becomes the next *model epoch*.  Flows are then
+        routed by their CRC32 register slot:
+
+        * a slot whose current-epoch flows are all **complete and
+          temporally disjoint with distinct five-tuples** is rebound to the
+          new epoch — the next flow hashed there starts on fresh state,
+          exactly the slot-reclaim semantics of the static data plane;
+        * every other slot is **pinned**: its undecided/in-flight flows (and
+          any flow later hashed into the slot while it stays pinned) finish
+          on the old program, so their verdicts are bit-identical to a
+          no-swap replay of the old model.
+
+        The pin decision is a pure function of the delivered stream prefix,
+        the flow table and the register table size — never of verdict
+        timing — so every engine (streaming, micro-batch, thread- and
+        process-sharded) partitions flows identically and the cross-engine
+        parity contract survives the swap.  Swapping to an identical model
+        is fully invisible: verdicts, TTD and merged recirculation counters
+        all match the no-swap session bit-for-bit.
+
+        Returns the :class:`SwapEvent` describing the swap (compile latency,
+        in-flight backlog, pinned slots/flows).  Only valid while the
+        session is ``open``.
+        """
+        if self._state != "open":
+            raise ServeError(f"cannot swap_model() in state {self._state!r}")
+        start = time.perf_counter()
+        outcome: dict = {}
+
+        def _build() -> None:
+            try:
+                child = self._successor_engine(program_factory)
+                child.open()
+                outcome["child"] = child
+            except BaseException as exc:  # re-raised on the caller's thread
+                outcome["error"] = exc
+
+        builder = threading.Thread(target=_build, name="model-swap-build", daemon=True)
+        builder.start()
+        builder.join()
+        if "error" in outcome:
+            raise outcome["error"]
+        child = outcome["child"]
+        latency = time.perf_counter() - start
+
+        buffered = self._total_buffered()
+        new_epoch = len(self._epoch_children) + 1
+        pinned_slots = 0
+        pinned_flows = 0
+        started: frozenset = frozenset()
+        if self._soa is not None and self._delivered is not None and np.any(self._delivered > 0):
+            self._ensure_epoch_arrays()
+            pinned = self._pinned_slots()
+            rebind = np.ones(self._slot_epoch.size, dtype=bool)
+            if pinned:
+                rebind[np.fromiter(pinned, dtype=np.intp)] = False
+            self._slot_epoch[rebind] = new_epoch
+            pinned_slots = len(pinned)
+            delivered_idx = np.flatnonzero(self._delivered > 0)
+            pinned_flows = int(np.count_nonzero(
+                self._delivered[delivered_idx]
+                < self._soa.n_packets_per_flow[delivered_idx]
+            ))
+            started = frozenset(
+                self._flows[i].flow_id for i in delivered_idx.tolist()
+            )
+        else:
+            # No packet delivered yet: every slot (current and future)
+            # belongs wholesale to the new epoch.
+            self._default_slot_epoch = new_epoch
+            if self._slot_epoch is not None:
+                self._slot_epoch[:] = new_epoch
+        self._epoch_children.append(child)
+        event = SwapEvent(
+            epoch=new_epoch,
+            latency_s=latency,
+            buffered_packets=buffered,
+            pinned_slots=pinned_slots,
+            pinned_flows=pinned_flows,
+            watermark=self._watermark,
+            flows_started=len(started),
+            started_flow_ids=started,
+        )
+        self._swap_events.append(event)
+        return event
+
+    def _successor_engine(self, program_factory) -> "InferenceEngine":
+        """Build (but do not open) a successor engine of this class."""
+        raise ServeError(f"{type(self).__name__} does not support swap_model()")
+
+    def _swap_table_size(self) -> int | None:
+        """This engine's register table size, if already known."""
+        return None
+
+    def _resolve_table_size(self) -> int | None:
+        size = self._swap_table_size()
+        if size is not None:
+            return size
+        for child in self._epoch_children:
+            size = child._resolve_table_size()
+            if size is not None:
+                return size
+        return None
+
+    def _ensure_epoch_arrays(self) -> None:
+        """Lazily build the slot→epoch and flow→epoch routing tables."""
+        if self._slot_epoch is not None:
+            return
+        table_size = self._resolve_table_size()
+        if table_size is None:
+            raise ServeError(
+                "cannot determine the register table size for swap routing "
+                "(no epoch has processed traffic yet)"
+            )
+        from repro.switch.hashing import flow_slots
+
+        self._swap_slots = np.asarray(
+            flow_slots(self._flows, table_size), dtype=np.intp
+        )
+        self._slot_epoch = np.full(table_size, self._default_slot_epoch, dtype=np.int32)
+        self._flow_epoch = np.full(self._soa.n_flows, -1, dtype=np.int32)
+        delivered_idx = np.flatnonzero(self._delivered > 0)
+        self._flow_epoch[delivered_idx] = self._slot_epoch[self._swap_slots[delivered_idx]]
+
+    def _pinned_slots(self) -> set[int]:
+        """Slots that must stay on their current epoch across this swap.
+
+        A slot is pinned when, among the flows of its *current* epoch with
+        delivered packets, any is incomplete (in flight), any two overlap in
+        time, or any two share a five-tuple — the cases where register state
+        (possibly corrupted/undecided) must survive for later packets.  Pure
+        function of the stream prefix, so all engines agree.
+        """
+        soa = self._soa
+        delivered = self._delivered
+        totals = soa.n_packets_per_flow
+        flow_starts = soa.flow_starts
+        timestamps = soa.timestamps
+        current = np.flatnonzero(
+            (delivered > 0)
+            & (self._flow_epoch == self._slot_epoch[self._swap_slots])
+        )
+        pinned: set[int] = set(
+            self._swap_slots[current[delivered[current] < totals[current]]].tolist()
+        )
+        by_slot: dict[int, list[int]] = {}
+        for f in current.tolist():
+            by_slot.setdefault(int(self._swap_slots[f]), []).append(f)
+        for slot, members in by_slot.items():
+            if slot in pinned or len(members) < 2:
+                continue
+            tuples = {self._flows[f].five_tuple for f in members}
+            if len(tuples) < len(members):
+                pinned.add(slot)
+                continue
+            intervals = sorted(
+                (
+                    float(timestamps[flow_starts[f]]),
+                    float(timestamps[flow_starts[f] + delivered[f] - 1]),
+                )
+                for f in members
+            )
+            horizon = float("-inf")
+            for first_ts, last_ts in intervals:
+                if first_ts <= horizon:
+                    pinned.add(slot)
+                    break
+                horizon = max(horizon, last_ts)
+        return pinned
+
+    def _route_chunk(self, chunk: PacketChunk) -> None:
+        """Split one chunk by flow epoch and dispatch the sub-chunks."""
+        positions = np.asarray(chunk.positions)
+        if positions.size == 0:
+            self._ingest(chunk)
+            return
+        if self._slot_epoch is None:
+            # Every swap so far preceded the first delivered packet, so the
+            # whole stream belongs to the newest epoch — no per-slot routing.
+            self._dispatch(self._default_slot_epoch, chunk, positions)
+            return
+        flow_of_packet = self._soa.packet_flow[positions]
+        unseen = self._flow_epoch[flow_of_packet] < 0
+        if np.any(unseen):
+            fresh = np.unique(flow_of_packet[unseen])
+            self._flow_epoch[fresh] = self._slot_epoch[self._swap_slots[fresh]]
+        packet_epoch = self._flow_epoch[flow_of_packet]
+        for epoch in np.unique(packet_epoch).tolist():
+            self._dispatch(int(epoch), chunk, positions[packet_epoch == epoch])
+
+    def _dispatch(self, epoch: int, chunk: PacketChunk, positions: np.ndarray) -> None:
+        sub = PacketChunk(soa=chunk.soa, flows=chunk.flows, positions=positions)
+        if epoch == 0:
+            self._ingest(sub)
+        else:
+            self._epoch_children[epoch - 1].ingest(sub)
+
+    def _total_buffered(self) -> int:
+        return self._buffered_packet_count() + sum(
+            child._total_buffered() for child in self._epoch_children
         )
 
     # ------------------------------------------------------------------
@@ -357,6 +657,7 @@ class InferenceEngine(abc.ABC):
             self._flows = chunk.flows
             self._labels = {flow.flow_id: flow.label for flow in chunk.flows}
             self._seen = np.zeros(chunk.soa.n_flows, dtype=bool)
+            self._delivered = np.zeros(chunk.soa.n_flows, dtype=np.int64)
         elif chunk.soa is not self._soa:
             raise ServeError(
                 "engine sessions are single-source: every chunk must reference "
@@ -372,5 +673,9 @@ class InferenceEngine(abc.ABC):
                 )
             self._watermark = float(timestamps[-1])
             self._packets += int(positions.size)
-            self._seen[self._soa.packet_flow[positions]] = True
+            flow_of_packet = self._soa.packet_flow[positions]
+            self._seen[flow_of_packet] = True
+            self._delivered += np.bincount(
+                flow_of_packet, minlength=self._soa.n_flows
+            ).astype(np.int64)
         self._chunks += 1

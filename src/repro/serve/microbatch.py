@@ -105,7 +105,7 @@ class MicroBatchEngine(InferenceEngine):
         self._complete_unflushed = 0
         self._workspace = vz.ReplayWorkspace()
 
-    def verdicts(self) -> dict:
+    def _engine_verdicts(self) -> dict:
         """The program's live verdict dict (non-blocking snapshot).
 
         A flow's verdict appears when the flush containing its boundary
@@ -113,11 +113,37 @@ class MicroBatchEngine(InferenceEngine):
         """
         return self.program.verdicts
 
-    def recirculation_stats(self) -> dict[str, float]:
+    def _engine_recirculation_stats(self) -> dict[str, float]:
         """The program's recirculation counters (empty without a channel)."""
         if hasattr(self.program, "recirculation_stats"):
             return self.program.recirculation_stats()
         return {}
+
+    def _engine_channel_aggregates(self) -> list:
+        from repro.serve.engine import channel_aggregate
+
+        return [channel_aggregate(self.program)]
+
+    def _successor_engine(self, program_factory) -> "MicroBatchEngine":
+        child = MicroBatchEngine(
+            program_factory(),
+            eager=self.eager,
+            flush_flows=self.flush_flows,
+            backpressure=self.backpressure,
+        )
+        if self._slots is not None:
+            if child.program.indexer.table_size != self.program.indexer.table_size:
+                raise ServeError(
+                    "swapped-in program must keep the register table size "
+                    f"({self.program.indexer.table_size} != "
+                    f"{child.program.indexer.table_size})"
+                )
+            child.seed_slots(self._slots)
+        return child
+
+    def _swap_table_size(self) -> int | None:
+        indexer = getattr(self.program, "indexer", None)
+        return getattr(indexer, "table_size", None)
 
     def _buffered_packet_count(self) -> int:
         return self._pending

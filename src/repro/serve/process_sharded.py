@@ -291,6 +291,7 @@ class ProcessShardedEngine(InferenceEngine):
         self._results = None
         self._shared: SharedPacketArrays | None = None
         self._shard_of_flow: np.ndarray | None = None
+        self._table_size: int | None = None
         self._merged_verdicts: dict = {}
         self._aggregates: dict[int, tuple | None] = {}
         self._buffered: dict[int, int] = {}
@@ -376,7 +377,8 @@ class ProcessShardedEngine(InferenceEngine):
             )
         from repro.switch.hashing import flow_slots
 
-        slots = flow_slots(self._flows, next(iter(table_sizes.values())))
+        self._table_size = next(iter(table_sizes.values()))
+        slots = flow_slots(self._flows, self._table_size)
         self._shard_of_flow = (slots % self.workers).astype(np.intp)
         for shard in range(self.workers):
             self._put(shard, ("seed", slots))
@@ -518,7 +520,7 @@ class ProcessShardedEngine(InferenceEngine):
     # ------------------------------------------------------------------
     # Observation (merged over workers)
     # ------------------------------------------------------------------
-    def verdicts(self) -> dict:
+    def _engine_verdicts(self) -> dict:
         """Merged verdict snapshot, keyed by globally unique flow id.
 
         While the stream is open this performs one synchronous
@@ -534,7 +536,7 @@ class ProcessShardedEngine(InferenceEngine):
         self._collect("snapshot")
         return dict(self._merged_verdicts)
 
-    def recirculation_stats(self) -> dict[str, float]:
+    def _engine_recirculation_stats(self) -> dict[str, float]:
         """Recirculation counters merged over the workers' channels.
 
         Uses the aggregates captured by the most recent snapshot or drain
@@ -544,6 +546,23 @@ class ProcessShardedEngine(InferenceEngine):
         return merge_channel_aggregates(
             self._aggregates.get(shard) for shard in range(self.workers)
         )
+
+    def _engine_channel_aggregates(self) -> list:
+        return [self._aggregates.get(shard) for shard in range(self.workers)]
+
+    def _successor_engine(self, program_factory) -> "ProcessShardedEngine":
+        return ProcessShardedEngine(
+            program_factory,
+            workers=self.workers,
+            start_method=self.start_method,
+            child_engine=self.child_engine,
+            queue_depth=self.queue_depth,
+            flush_flows=self.flush_flows,
+            backpressure=self.child_backpressure,
+        )
+
+    def _swap_table_size(self) -> int | None:
+        return self._table_size
 
     def _buffered_packet_count(self) -> int:
         return sum(self._buffered.values())

@@ -205,7 +205,7 @@ class ShardedEngine(InferenceEngine):
     # ------------------------------------------------------------------
     # Observation (merged over shards)
     # ------------------------------------------------------------------
-    def verdicts(self) -> dict:
+    def _engine_verdicts(self) -> dict:
         """Union of the shard engines' verdicts (flow ids are globally unique).
 
         Non-blocking: reads each shard's live verdict dict without waiting
@@ -217,11 +217,29 @@ class ShardedEngine(InferenceEngine):
             merged.update(shard.engine.verdicts())
         return merged
 
-    def recirculation_stats(self) -> dict[str, float]:
+    def _engine_recirculation_stats(self) -> dict[str, float]:
         """Shard programs' recirculation counters, merged bit-exactly."""
         return merged_recirculation_stats(
             [shard.engine.program for shard in self._shards]
         )
+
+    def _engine_channel_aggregates(self) -> list:
+        from repro.serve.engine import channel_aggregate
+
+        return [channel_aggregate(shard.engine.program) for shard in self._shards]
+
+    def _successor_engine(self, program_factory) -> "ShardedEngine":
+        return ShardedEngine(
+            program_factory,
+            n_shards=self.n_shards,
+            child_engine=self.child_engine,
+            queue_depth=self.queue_depth,
+            flush_flows=self.flush_flows,
+            backpressure=self.child_backpressure,
+        )
+
+    def _swap_table_size(self) -> int | None:
+        return self._table_size
 
     def _buffered_packet_count(self) -> int:
         return sum(shard.engine._buffered_packet_count() for shard in self._shards)

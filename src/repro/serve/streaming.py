@@ -37,7 +37,7 @@ class StreamingEngine(InferenceEngine):
             raise ServeError("StreamingEngine requires a data-plane program")
         self.program = program
 
-    def verdicts(self) -> dict:
+    def _engine_verdicts(self) -> dict:
         """The program's live verdict dict (non-blocking snapshot).
 
         Per-packet execution means a verdict is visible immediately after
@@ -45,11 +45,23 @@ class StreamingEngine(InferenceEngine):
         """
         return self.program.verdicts
 
-    def recirculation_stats(self) -> dict[str, float]:
+    def _engine_recirculation_stats(self) -> dict[str, float]:
         """The program's recirculation counters (empty without a channel)."""
         if hasattr(self.program, "recirculation_stats"):
             return self.program.recirculation_stats()
         return {}
+
+    def _engine_channel_aggregates(self) -> list:
+        from repro.serve.engine import channel_aggregate
+
+        return [channel_aggregate(self.program)]
+
+    def _successor_engine(self, program_factory) -> "StreamingEngine":
+        return StreamingEngine(program_factory())
+
+    def _swap_table_size(self) -> int | None:
+        indexer = getattr(self.program, "indexer", None)
+        return getattr(indexer, "table_size", None)
 
     def _ingest(self, chunk: PacketChunk) -> None:
         soa, flows = chunk.soa, chunk.flows

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
-from repro.analysis.streaming import RollingReport, RollingTTD
+from repro.analysis.streaming import RollingReport, RollingTTD, WindowedErrorRate
 from repro.analysis.ttd import summarize_ttd
 from repro.core.evaluation import ClassificationReport
 
@@ -30,6 +31,26 @@ class TestRollingTTD:
     def test_empty_summary_shape(self):
         summary = RollingTTD().summary()
         assert summary == {"median": 0.0, "mean": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+
+    def test_reset_returns_to_empty_state(self):
+        rolling = RollingTTD()
+        rolling.update([0.5, 1.5, 9.0])
+        rolling.reset()
+        assert rolling.count == 0 and rolling.mean == 0.0 and rolling.max == 0.0
+        assert rolling.summary() == RollingTTD().summary()
+
+    def test_rebind_after_reset_matches_fresh_accumulator(self):
+        # After a reset the accumulator must behave exactly like a new one
+        # bound to the second stream segment (no leakage of the old max).
+        segment_a, segment_b = [4.0, 8.0], [0.25, 0.75, 1.25]
+        rebound = RollingTTD()
+        rebound.update(segment_a)
+        rebound.reset()
+        rebound.update(segment_b)
+        fresh = RollingTTD()
+        fresh.update(segment_b)
+        assert rebound.summary() == fresh.summary()
+        assert rebound.max == fresh.max == 1.25
 
 
 class TestRollingReport:
@@ -58,3 +79,58 @@ class TestRollingReport:
     def test_empty_report(self):
         report = RollingReport().report()
         assert report.n_samples == 0 and report.f1_score == 0.0
+
+    def test_reset_returns_to_empty_state(self):
+        rolling = RollingReport()
+        rolling.update(1, 1)
+        rolling.update(0, 1)
+        rolling.reset()
+        assert rolling.n_samples == 0 and rolling.accuracy == 0.0
+        assert rolling.report().n_samples == 0
+
+    def test_rebind_after_reset_matches_fresh_accumulator(self):
+        rng = np.random.default_rng(11)
+        y_true = rng.integers(0, 3, size=50)
+        y_pred = rng.integers(0, 3, size=50)
+        rebound = RollingReport()
+        for _ in range(10):
+            rebound.update(2, 0)  # old stream segment, all wrong
+        rebound.reset()
+        fresh = RollingReport()
+        for t, p in zip(y_true, y_pred):
+            rebound.update(int(t), int(p))
+            fresh.update(int(t), int(p))
+        assert rebound.accuracy == fresh.accuracy
+        assert rebound.report().f1_score == fresh.report().f1_score
+        assert np.array_equal(rebound.report().confusion, fresh.report().confusion)
+
+
+class TestWindowedErrorRate:
+    def test_matches_naive_window_rate(self):
+        rng = np.random.default_rng(5)
+        errors = rng.random(200) < 0.3
+        windowed = WindowedErrorRate(window=16)
+        for index, error in enumerate(errors):
+            windowed.update(bool(error))
+            recent = errors[max(0, index - 15): index + 1]
+            assert windowed.rate == recent.sum() / recent.size
+        assert windowed.count == 16
+
+    def test_old_outcomes_age_out(self):
+        windowed = WindowedErrorRate(window=2)
+        windowed.update(True)
+        windowed.update(True)
+        assert windowed.rate == 1.0
+        windowed.update(False)
+        windowed.update(False)
+        assert windowed.rate == 0.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            WindowedErrorRate(window=0)
+
+    def test_reset_empties_the_window(self):
+        windowed = WindowedErrorRate(window=4)
+        windowed.update(True)
+        windowed.reset()
+        assert windowed.count == 0 and windowed.rate == 0.0

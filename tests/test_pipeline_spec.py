@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import SpliDTConfig
+from repro.online import OnlineConfig
 from repro.pipeline import ExperimentSpec, ServeConfig, SpecError, default_replay_engine
 from repro.pipeline.spec import REPLAY_ENGINE_ENV
 from repro.switch.targets import TOFINO2
@@ -144,9 +145,18 @@ class TestServeConfig:
                               backpressure=4096)
         )
         payload = json.loads(json.dumps(spec.to_dict()))
-        assert payload["serve"] == {"engine": "sharded", "shards": 4,
-                                    "workers": 4, "spawn_method": None,
-                                    "chunk_size": 128, "backpressure": 4096}
+        assert payload["serve"] == {
+            "engine": "sharded", "shards": 4, "workers": 4,
+            "spawn_method": None, "chunk_size": 128, "backpressure": 4096,
+            "online": {
+                "enabled": False, "detector": "page-hinkley", "window": 64,
+                "ph_delta": 0.15, "ph_threshold": 5.0,
+                "error_threshold": 0.35, "warmup_flows": 32,
+                "min_retrain_flows": 96, "retrain_window": 512,
+                "retrain_passes": 2, "cooldown_flows": 32,
+                "exit_confidence": 0.95,
+            },
+        }
         restored = ExperimentSpec.from_dict(payload)
         assert restored == spec
         assert isinstance(restored.serve, ServeConfig)
@@ -182,3 +192,51 @@ class TestServeConfig:
         config = ServeConfig()
         assert config.replace(shards=8).shards == 8
         assert config.shards == 2
+
+
+class TestOnlineConfigInSpec:
+    def test_default_serve_carries_disabled_online(self):
+        spec = ExperimentSpec().validate()
+        assert isinstance(spec.serve.online, OnlineConfig)
+        assert not spec.serve.online.enabled
+
+    def test_online_roundtrips_through_json(self):
+        import json
+
+        spec = ExperimentSpec(
+            serve=ServeConfig(
+                online=OnlineConfig(enabled=True, detector="error-window",
+                                    window=32, min_retrain_flows=48,
+                                    retrain_window=64)
+            )
+        ).validate()
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert payload["serve"]["online"]["enabled"] is True
+        assert payload["serve"]["online"]["detector"] == "error-window"
+        restored = ExperimentSpec.from_dict(payload)
+        assert restored == spec
+        assert isinstance(restored.serve.online, OnlineConfig)
+        assert restored.serve.online.window == 32
+
+    def test_online_dict_coerced_at_construction(self):
+        spec = ExperimentSpec(
+            serve={"engine": "microbatch",
+                   "online": {"enabled": True, "window": 16}}
+        )
+        assert spec.serve.online == OnlineConfig(enabled=True, window=16)
+
+    def test_unknown_online_keys_rejected(self):
+        with pytest.raises(SpecError, match="online"):
+            ExperimentSpec.from_dict(
+                {"serve": {"online": {"enabled": True, "warp": 9}}}
+            )
+
+    def test_invalid_online_config_fails_spec_validation(self):
+        with pytest.raises(SpecError, match="online"):
+            ExperimentSpec(
+                serve=ServeConfig(online=OnlineConfig(detector="bogus"))
+            ).validate()
+        with pytest.raises(SpecError, match="online"):
+            ExperimentSpec(
+                serve=ServeConfig(online=OnlineConfig(min_retrain_flows=0))
+            ).validate()

@@ -276,6 +276,52 @@ class TestLookupPlumbing:
         finally:
             splidt_rules.set_lookup("lut")
 
+    def test_set_lookup_same_mode_is_a_noop(self):
+        # Re-selecting the current mode must not invalidate the compiled
+        # plane — program builders call set_lookup per shard/worker.
+        rules = _random_ruleset(np.random.default_rng(7))
+        compiled = rules.compiled_lookup()
+        assert rules.set_lookup("lut") is rules
+        assert rules.set_lookup("lut", max_cells=rules.lut_max_cells) is rules
+        assert rules.compiled_lookup() is compiled
+
+    def test_set_lookup_concurrent_with_classification(self):
+        # Hammer set_lookup from several threads while others classify via
+        # the compiled plane; nothing may raise and every answer must match
+        # the single-threaded scan.
+        import threading
+
+        rng = np.random.default_rng(8)
+        rules = _random_ruleset(rng)
+        sid = next(iter(rules.subtree_rules))
+        matrix = _random_matrix(np.random.default_rng(8))
+        expected = rules.classify_batch(sid, matrix, lookup="scan")
+        errors = []
+        start = threading.Barrier(6)
+
+        def flipper():
+            start.wait()
+            for _ in range(200):
+                rules.set_lookup("lut")
+
+        def classifier():
+            start.wait()
+            try:
+                for _ in range(50):
+                    got = rules.classify_batch(sid, matrix, lookup="lut")
+                    np.testing.assert_array_equal(got[0], expected[0])
+                    np.testing.assert_array_equal(got[1], expected[1])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=flipper) for _ in range(3)]
+        threads += [threading.Thread(target=classifier) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
     def test_pickle_drops_compiled_cache(self):
         rules = _random_ruleset(np.random.default_rng(6))
         rules.compiled_lookup()

@@ -11,14 +11,21 @@ Usage (from the repository root)::
         --depth 18 --partitions 2 --lookup scan --top 30
     PYTHONPATH=src python tools/profile_replay.py --engine reference --sort tottime
     PYTHONPATH=src python tools/profile_replay.py --engine fused --json profile.json
+    PYTHONPATH=src python tools/profile_replay.py --online --swap-at 0.5
 
 The profiled region is *only* the replay (the program is built and the
 lookup plane compiled beforehand), so the report shows the steady-state
 serving cost — the part the paper claims runs at line rate.
 
+``--online`` profiles a serve-path session instead: the stream runs through
+a :mod:`repro.serve` engine and a same-model ``swap_model`` is forced at the
+``--swap-at`` fraction of the stream, so the report includes the swap's cost
+— its build latency and how many packets were in flight when it landed.
+
 ``--json`` writes a machine-readable summary (run parameters, elapsed time,
-throughput, kernel backend, and the top-N hot spots) so CI can diff the hot
-path of two revisions instead of eyeballing pstats text.
+throughput, kernel backend, swap metrics when ``--online``, and the top-N
+hot spots) so CI can diff the hot path of two revisions instead of
+eyeballing pstats text.
 """
 
 from __future__ import annotations
@@ -52,6 +59,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="replay engine")
     parser.add_argument("--lookup", default="lut", choices=("lut", "scan"),
                         help="model-table lookup strategy")
+    parser.add_argument("--online", action="store_true",
+                        help="profile a serve-path session with a forced "
+                             "mid-stream model swap instead of a plain replay")
+    parser.add_argument("--swap-at", type=float, default=0.5,
+                        help="stream fraction at which --online forces the "
+                             "swap (default 0.5)")
+    parser.add_argument("--serve-engine", default="microbatch",
+                        choices=("streaming", "microbatch", "sharded",
+                                 "sharded-mp"),
+                        help="serve engine used by --online "
+                             "(default microbatch)")
+    parser.add_argument("--chunk-size", type=int, default=256,
+                        help="packets per ingested chunk in --online mode "
+                             "(default 256)")
     parser.add_argument("--top", type=int, default=25,
                         help="hot spots to print (default 25)")
     parser.add_argument("--sort", default="cumulative",
@@ -62,6 +83,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a machine-readable profile summary to this "
                              "file ('-' for stdout)")
     args = parser.parse_args(argv)
+    if args.online and not 0.0 < args.swap_at < 1.0:
+        parser.error("--swap-at must be strictly between 0 and 1")
 
     from repro.dataplane import replay_dataset
     from repro.dataplane.kernels import backend as kernel_backend
@@ -85,23 +108,57 @@ def main(argv: list[str] | None = None) -> int:
           f"P={spec.n_partitions} ...", flush=True)
     started = time.perf_counter()
     model, rules = experiment.train(), experiment.compile()
-    program = experiment.system.build_program(model, rules, spec)
     dataset = experiment.prepare().dataset
     n_packets = sum(flow.n_packets for flow in dataset.flows)
-    print(f"staged in {time.perf_counter() - started:.1f}s; profiling "
-          f"{args.engine} replay ({args.lookup} lookup, {n_packets} packets)",
-          flush=True)
-
     profiler = cProfile.Profile()
-    replay_started = time.perf_counter()
-    profiler.enable()
-    result = replay_dataset(program, dataset, engine=args.engine)
-    profiler.disable()
-    elapsed = time.perf_counter() - replay_started
+    swap_event = None
+
+    if args.online:
+        from repro.datasets.streams import iter_packet_chunks
+        from repro.online.loop import OnlineProgramFactory
+        from repro.serve import create_engine
+
+        chunks = list(iter_packet_chunks(dataset.flows, args.chunk_size))
+        swap_chunk = max(1, min(len(chunks) - 1,
+                                int(len(chunks) * args.swap_at)))
+        factory = OnlineProgramFactory(model, rules, spec.flow_slots)
+        serve = create_engine(factory, engine=args.serve_engine,
+                              chunk_size=args.chunk_size)
+        print(f"staged in {time.perf_counter() - started:.1f}s; profiling "
+              f"{args.serve_engine} serve session ({args.lookup} lookup, "
+              f"{n_packets} packets, swap at chunk {swap_chunk}/{len(chunks)})",
+              flush=True)
+        replay_started = time.perf_counter()
+        profiler.enable()
+        serve.open()
+        for index, chunk in enumerate(chunks):
+            if index == swap_chunk:
+                swap_event = serve.swap_model(factory)
+            serve.ingest(chunk)
+        result = serve.close()
+        profiler.disable()
+        elapsed = time.perf_counter() - replay_started
+    else:
+        program = experiment.system.build_program(model, rules, spec)
+        print(f"staged in {time.perf_counter() - started:.1f}s; profiling "
+              f"{args.engine} replay ({args.lookup} lookup, {n_packets} "
+              f"packets)", flush=True)
+        replay_started = time.perf_counter()
+        profiler.enable()
+        result = replay_dataset(program, dataset, engine=args.engine)
+        profiler.disable()
+        elapsed = time.perf_counter() - replay_started
 
     stats = pstats.Stats(profiler)
     print(f"\nreplayed {len(result.verdicts)} verdicts "
           f"(data-plane F1 {result.report.f1_score:.3f})")
+    if swap_event is not None:
+        print(f"swap : epoch {swap_event.epoch} built in "
+              f"{swap_event.latency_s * 1e3:.2f} ms with "
+              f"{swap_event.buffered_packets} packets in flight; "
+              f"{swap_event.pinned_flows} pinned flows on "
+              f"{swap_event.pinned_slots} slots, "
+              f"{swap_event.flows_started} flows started")
     stats.sort_stats(args.sort)
     stats.print_stats(args.top)
     if args.out:
@@ -120,7 +177,8 @@ def main(argv: list[str] | None = None) -> int:
                 "cumtime_s": round(ct, 6),
             })
         summary = {
-            "engine": args.engine,
+            "engine": args.serve_engine if args.online else args.engine,
+            "mode": "online" if args.online else "replay",
             "lookup": args.lookup,
             "dataset": args.dataset,
             "flows": args.flows,
@@ -136,6 +194,16 @@ def main(argv: list[str] | None = None) -> int:
             "f1": round(result.report.f1_score, 6),
             "hotspots": hotspots,
         }
+        if swap_event is not None:
+            summary["swap"] = {
+                "swap_at": args.swap_at,
+                "epoch": swap_event.epoch,
+                "swap_latency_s": round(swap_event.latency_s, 6),
+                "buffered_packets": swap_event.buffered_packets,
+                "pinned_flows": swap_event.pinned_flows,
+                "pinned_slots": swap_event.pinned_slots,
+                "flows_started": swap_event.flows_started,
+            }
         payload = json.dumps(summary, indent=2)
         if args.json_out == "-":
             print(payload)
