@@ -1,0 +1,118 @@
+"""Scenario pressure — degradation under table overflow and hostile traffic.
+
+The paper sizes SpliDT's register file for ~100k concurrent flows; this
+benchmark measures what happens *past* that point.  The occupancy sweep
+replays the ``table-pressure`` workload while the flow population sweeps
+0.5×→8× of the slot capacity (idle-timeout eviction), reporting the
+accuracy / decided-fraction / TTD degradation curve over the legitimate
+flows.  The companion million-flow benchmark replays the
+``million-flow-streamed`` catalog scenario — ~10⁶ spoofed flood flows over a
+small legitimate base — through the out-of-core streamed source, and checks
+the process peak RSS stays well below what materialising the workload as
+``Flow``/``Packet`` objects would cost.
+
+The million-flow run takes a couple of minutes, so it is gated behind
+``SPLIDT_BENCH_MILLION_FLOW=1`` (run it alone for a clean RSS reading).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from bench_common import write_result
+from repro.analysis import render_table
+from repro.pipeline import ExperimentSpec
+from repro.scenarios import get_workload_scenario, run_scenario, sweep_occupancy
+
+#: Occupancy factors of the sweep (× slot capacity).
+SWEEP_FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+#: Register slots of the swept program (the 1.0× point).
+SWEEP_SLOTS = 256
+
+#: Environment gate of the million-flow benchmark.
+MILLION_ENV = "SPLIDT_BENCH_MILLION_FLOW"
+
+#: Register slots of the million-flow replay (~15× occupancy at 10⁶ flows).
+MILLION_SLOTS = 65536
+
+HEADER = ["Occupancy", "Flows", "Accuracy", "F1", "Decided", "Median TTD (ms)",
+          "Evictions", "Streamed"]
+
+
+def _row(result) -> list[str]:
+    ttd = "-" if np.isnan(result.median_ttd) else f"{result.median_ttd * 1e3:.1f}"
+    return [
+        f"{result.occupancy:.2f}x",
+        f"{result.n_flows:,}",
+        f"{result.accuracy:.3f}",
+        f"{result.f1_score:.3f}",
+        f"{result.decided_fraction:.3f}",
+        ttd,
+        f"{result.evictions:,}",
+        "yes" if result.streamed else "no",
+    ]
+
+
+def _run_sweep():
+    scenario = get_workload_scenario("table-pressure")
+    return sweep_occupancy(
+        scenario,
+        flow_slots=SWEEP_SLOTS,
+        factors=SWEEP_FACTORS,
+        experiment=ExperimentSpec(n_flows=300),
+    )
+
+
+def test_occupancy_sweep_degradation(benchmark):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    table = render_table(HEADER, [_row(result) for result in results])
+    lines = [
+        f"scenario: table-pressure ({SWEEP_SLOTS} slots, "
+        f"{results[0].eviction_policy} eviction)",
+        table,
+    ]
+    write_result("scenario_pressure", "\n".join(lines))
+
+    assert len(results) == len(SWEEP_FACTORS)
+    below, above = results[0], results[-1]
+    assert below.occupancy < 1.0 < above.occupancy
+    # Under-capacity replay decides most flows (CRC collisions plus the
+    # tight idle timeout already evict a few); 8x pressure with eviction
+    # churn must cost decided flows, not corrupt the survivors.
+    assert below.decided_fraction > 0.8
+    assert above.decided_fraction < below.decided_fraction
+    assert all(0.0 <= result.accuracy <= 1.0 for result in results)
+
+
+def test_million_flow_streamed(benchmark):
+    if not os.environ.get(MILLION_ENV):
+        pytest.skip(f"set {MILLION_ENV}=1 to run the million-flow benchmark")
+    scenario = get_workload_scenario("million-flow-streamed")
+
+    def _run():
+        return run_scenario(scenario, flow_slots=MILLION_SLOTS)
+
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = render_table(HEADER, [_row(result)])
+    lines = [
+        f"scenario: million-flow-streamed ({MILLION_SLOTS} slots, "
+        f"{result.eviction_policy} eviction)",
+        table,
+        f"packets            : {result.n_packets:,}",
+        f"replay wall clock  : {result.elapsed_s:.1f} s",
+        f"peak RSS           : {result.peak_rss_bytes / 2**20:,.0f} MiB",
+        f"materialised est.  : {result.materialised_estimate / 2**20:,.0f} MiB",
+    ]
+    write_result("scenario_pressure_million_flow", "\n".join(lines))
+
+    assert result.streamed
+    assert result.n_flows > 1_000_000
+    # The out-of-core claim: replaying a million flows must not cost
+    # anywhere near the materialised object-form footprint.
+    assert result.peak_rss_bytes < result.materialised_estimate
+    # The flood is load, not ground truth — legitimate flows still decide.
+    assert result.decided_fraction > 0.5

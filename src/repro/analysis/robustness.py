@@ -67,6 +67,43 @@ def _replay_with_spoofed_size(
     )
 
 
+def replay_with_advertised_sizes(
+    program: SpliDTDataPlane,
+    flows,
+    advertised,
+    *,
+    soa=None,
+) -> None:
+    """Replay ``soa`` through ``program`` with per-flow advertised flow sizes.
+
+    The scenario-suite entry point for evasion workloads: packets are fed in
+    global arrival order (``soa.interleave_order``) — matching the fused and
+    vectorized engines' replay order exactly — but each flow advertises
+    ``advertised[flow_id]`` instead of its true packet count, shifting the
+    window boundaries the subtrees observe.  Verdicts land on
+    ``program.verdicts``, as with :func:`repro.dataplane.vectorized.replay_arrays`.
+    """
+    from repro.datasets.flows import Packet, PacketArrays
+
+    if soa is None:
+        soa = PacketArrays.from_flows(flows)
+    tuples = [flows[i].five_tuple for i in range(soa.n_flows)]
+    packet_flow = soa.packet_flow
+    flow_ids = soa.flow_ids
+    for pos in soa.interleave_order:
+        pos = int(pos)
+        fi = int(packet_flow[pos])
+        packet = Packet(
+            timestamp=float(soa.timestamps[pos]),
+            size=int(soa.sizes[pos]),
+            flags=int(soa.flags[pos]),
+            direction=int(soa.directions[pos]),
+            payload=int(soa.payloads[pos]),
+        )
+        phv = make_data_phv(tuples[fi], packet)
+        program.process_packet(phv, int(flow_ids[fi]), int(advertised[fi]))
+
+
 def evaluate_flow_size_spoofing(
     model: PartitionedDecisionTree,
     rules: RuleSet,

@@ -15,9 +15,14 @@ from repro.switch.pipeline import Pipeline
 from repro.switch.tcam import TcamEntry, TcamTable, TernaryMatch, range_to_ternary
 
 
-@dataclass
+@dataclass(slots=True)
 class Digest:
-    """A classification digest sent from the data plane to the controller."""
+    """A classification digest sent from the data plane to the controller.
+
+    ``slots=True``: the controller retains every digest for the replay's
+    lifetime, and million-flow workloads make the per-instance dict the
+    dominant cost of that retention.
+    """
 
     flow_id: int
     label: int
@@ -40,6 +45,13 @@ class Controller:
     pipeline: Pipeline
     digests: list[Digest] = field(default_factory=list)
     installed_entries: int = 0
+    #: Retain received digests in :attr:`digests` (the default — artifact
+    #: replay and parity checks read them back).  Million-flow scenario
+    #: replays switch this off: nothing consumes the digests there, and one
+    #: object per decided flow would dominate the process footprint.
+    #: :attr:`n_digests` counts received digests either way.
+    retain_digests: bool = True
+    n_digests: int = 0
 
     def install_rules(self, rules: RuleSet, *, feature_table_stage: int, model_table_stage: int) -> dict[str, TcamTable]:
         """Install the compiled rules into the pipeline's shared tables.
@@ -100,11 +112,15 @@ class Controller:
 
     def receive_digest(self, digest: Digest) -> None:
         """Record a classification digest."""
-        self.digests.append(digest)
+        self.n_digests += 1
+        if self.retain_digests:
+            self.digests.append(digest)
 
     def receive_digests(self, digests: list[Digest]) -> None:
         """Record many digests at once (the batched finalisation path)."""
-        self.digests.extend(digests)
+        self.n_digests += len(digests)
+        if self.retain_digests:
+            self.digests.extend(digests)
 
     def labels_by_flow(self) -> dict[int, int]:
         """Final label reported for each flow (last digest wins)."""

@@ -116,12 +116,30 @@ class ClassSignature:
 
 
 class SyntheticTrafficGenerator:
-    """Generates labelled packet-level flows for a dataset profile."""
+    """Generates labelled packet-level flows for a dataset profile.
 
-    def __init__(self, profile: DatasetProfile, seed: int = 0) -> None:
+    Args:
+        profile: The dataset profile to synthesise.
+        seed: Integer seed deriving both the class signatures and (when
+            ``rng`` is not given) the flow-generation stream.
+        rng: Optional explicit :class:`numpy.random.Generator` to draw the
+            *flow bodies* from, so scenario composition can share one rng
+            stream across several generators without coupling their seeds.
+            Class signatures stay a pure function of ``(profile, seed)``
+            either way — sharing an rng never changes the feature geometry,
+            only which concrete flows are drawn.
+    """
+
+    def __init__(
+        self,
+        profile: DatasetProfile,
+        seed: int = 0,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> None:
         self.profile = profile
         self.seed = seed
-        self._rng = np.random.default_rng(self._dataset_seed())
+        self._rng = rng if rng is not None else np.random.default_rng(self._dataset_seed())
         self.groups = ATTRIBUTE_GROUPS
         self.signatures = [
             self._build_signature(index) for index in range(profile.n_classes)
@@ -174,8 +192,15 @@ class SyntheticTrafficGenerator:
     # ------------------------------------------------------------------
     # Flow generation
     # ------------------------------------------------------------------
-    def generate(self, n_flows: int) -> FlowDataset:
-        """Generate ``n_flows`` labelled flows (classes roughly balanced)."""
+    def iter_flows(self, n_flows: int):
+        """Yield ``n_flows`` labelled flows one at a time, in draw order.
+
+        The streaming counterpart of :meth:`generate`: the rng draw sequence
+        is identical (``generate`` is a thin wrapper over this iterator), so
+        consumers that spill flows out-of-core — e.g. a
+        :class:`~repro.datasets.streams.StreamedPacketWriter` — observe
+        bit-identical traffic without ever holding the flow list.
+        """
         if n_flows < self.profile.n_classes:
             raise ValueError(
                 f"need at least {self.profile.n_classes} flows for {self.profile.key}"
@@ -185,14 +210,17 @@ class SyntheticTrafficGenerator:
         labels[: self.profile.n_classes] = np.arange(self.profile.n_classes)
         rng.shuffle(labels)
 
-        flows = []
         for flow_id in range(n_flows):
             true_label = int(labels[flow_id])
             flow = self._generate_flow(flow_id, true_label, rng)
             if rng.random() < self.profile.label_noise:
                 flow.label = int(rng.integers(0, self.profile.n_classes))
                 flow.class_name = self.signatures[flow.label].name
-            flows.append(flow)
+            yield flow
+
+    def generate(self, n_flows: int) -> FlowDataset:
+        """Generate ``n_flows`` labelled flows (classes roughly balanced)."""
+        flows = list(self.iter_flows(n_flows))
 
         return FlowDataset(
             name=self.profile.key,
@@ -348,11 +376,12 @@ class PhaseShiftGenerator(SyntheticTrafficGenerator):
         profile: DatasetProfile,
         seed: int = 0,
         *,
+        rng: np.random.Generator | None = None,
         shift_at: float = 0.5,
         rotation: int = 1,
         horizon: float = 1.0,
     ) -> None:
-        super().__init__(profile, seed)
+        super().__init__(profile, seed, rng=rng)
         if not 0.0 < shift_at < 1.0:
             raise ValueError(f"shift_at must be in (0, 1), got {shift_at}")
         if horizon <= 0.0:

@@ -45,6 +45,37 @@ _ALIGN = 64
 #: Prefix of every segment created by :meth:`SharedPacketArrays.create`.
 SEGMENT_PREFIX = "splidt-soa"
 
+#: Mount point backing POSIX shared memory on Linux.
+SHM_MOUNT = "/dev/shm"
+
+
+class SharedMemoryCapacityError(MemoryError):
+    """Raised when a segment would not fit the shared-memory mount.
+
+    Subclasses :class:`MemoryError` so generic out-of-memory handling still
+    catches it, while carrying the sizes a caller needs to act (shrink the
+    workload, switch to the streamed source, or mount a bigger tmpfs).
+    """
+
+    def __init__(self, requested: int, available: int) -> None:
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"shared-memory segment of {requested:,} bytes exceeds the "
+            f"{available:,} bytes available under {SHM_MOUNT}; shrink the "
+            f"workload, free segments (ls {SHM_MOUNT}), or replay out-of-core "
+            f"via repro.datasets.streams.StreamedPacketWriter instead"
+        )
+
+
+def _shm_bytes_available() -> int | None:
+    """Free bytes on the shared-memory mount, or ``None`` when unknowable."""
+    try:
+        stats = os.statvfs(SHM_MOUNT)
+    except OSError:  # non-Linux or exotic container: skip the preflight
+        return None
+    return stats.f_bavail * stats.f_frsize
+
 
 def _align(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
@@ -110,6 +141,11 @@ class SharedPacketArrays:
 
         The copy happens exactly once per serving session; afterwards any
         number of processes can attach views without further copies.
+
+        The requested size is validated against the free space under
+        ``/dev/shm`` first: an oversized workload raises
+        :class:`SharedMemoryCapacityError` up front (naming the two sizes)
+        instead of surfacing as a raw ``OSError`` mid-copy.
         """
         columns: list[ColumnSpec] = []
         offset = 0
@@ -132,6 +168,9 @@ class SharedPacketArrays:
             source[field_.name] = column
             offset += column.nbytes
         size = max(offset, 1)
+        available = _shm_bytes_available()
+        if available is not None and size > available:
+            raise SharedMemoryCapacityError(size, available)
         shm = cls._new_segment(size)
         for spec in columns:
             view = np.ndarray(
@@ -247,4 +286,10 @@ class SharedPacketArrays:
         self.close()
 
 
-__all__ = ["ColumnSpec", "SEGMENT_PREFIX", "SharedArraysLayout", "SharedPacketArrays"]
+__all__ = [
+    "ColumnSpec",
+    "SEGMENT_PREFIX",
+    "SharedArraysLayout",
+    "SharedMemoryCapacityError",
+    "SharedPacketArrays",
+]

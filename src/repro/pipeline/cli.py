@@ -12,6 +12,11 @@ Subcommands:
 * ``online-demo`` — the phase-change scenario end to end: a static model
   collapses mid-stream, the online loop detects it, retrains incrementally
   and swaps the refreshed model in without touching in-flight flows.
+* ``scenario`` — the adversarial workload suite (:mod:`repro.scenarios`):
+  ``scenario list`` prints the catalog, ``scenario run`` trains a clean
+  system and replays one hostile workload against it (optionally asserting
+  the catalog's degradation bounds — the CI smoke), ``scenario sweep``
+  replays it across an occupancy sweep of the register file.
 * ``list-datasets`` — the D1–D7 catalogue, plus registered systems/scenarios.
 * ``compare`` — run several systems on one dataset and print a comparison
   table (the shape of the paper's headline tables); ``--json`` emits
@@ -385,6 +390,119 @@ def _cmd_online_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_result_row(result) -> list[str]:
+    ttd = "-" if result.median_ttd != result.median_ttd else f"{result.median_ttd * 1e3:.1f}"
+    return [
+        result.scenario,
+        f"{result.occupancy:.2f}x",
+        f"{result.n_flows:,}",
+        f"{result.accuracy:.3f}",
+        f"{result.decided_fraction:.3f}",
+        ttd,
+        f"{result.evictions:,}",
+    ]
+
+
+_SCENARIO_HEADER = ["Scenario", "Occupancy", "Flows", "Accuracy",
+                    "Decided", "Median TTD (ms)", "Evictions"]
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import WORKLOAD_SCENARIOS
+
+    rows = []
+    for name in sorted(WORKLOAD_SCENARIOS):
+        spec = WORKLOAD_SCENARIOS[name]
+        layers = ", ".join(layer.kind for layer in spec.layers) or "-"
+        rows.append([
+            name, spec.dataset, f"{spec.traffic_flows:,}", layers,
+            spec.eviction, "yes" if spec.streamed else "no",
+            "yes" if spec.bounds is not None else "no",
+        ])
+    print(render_table(
+        ["Name", "Dataset", "Legit flows", "Layers", "Eviction", "Streamed",
+         "Bounded"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        ScenarioError,
+        get_workload_scenario,
+        run_scenario,
+        WORKLOAD_SCENARIOS,
+    )
+
+    if args.name is not None:
+        names = [args.name]
+    else:
+        # No name: the CI smoke shape — every catalog scenario that defines
+        # degradation bounds.
+        names = [name for name in sorted(WORKLOAD_SCENARIOS)
+                 if WORKLOAD_SCENARIOS[name].bounds is not None]
+        if not names:
+            print("error: no bounded scenarios in the catalog", file=sys.stderr)
+            return 2
+    try:
+        scenarios = [get_workload_scenario(name) for name in names]
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failures = []
+    results = []
+    for scenario in scenarios:
+        result = run_scenario(
+            scenario,
+            flow_slots=args.flow_slots,
+            traffic_flows=args.traffic_flows,
+        )
+        results.append(result)
+        if args.assert_bounds:
+            failures.extend(
+                f"{scenario.name}: {problem}"
+                for problem in result.violations(scenario.bounds)
+            )
+    if args.json:
+        print(json.dumps([result.to_dict() for result in results], indent=2))
+    else:
+        print(render_table(_SCENARIO_HEADER,
+                           [_scenario_result_row(r) for r in results]))
+        for result in results:
+            if result.streamed and result.materialised_estimate:
+                print(f"{result.scenario}: streamed replay, peak RSS "
+                      f"{result.peak_rss_bytes / 2**20:.0f} MiB vs "
+                      f"{result.materialised_estimate / 2**20:.0f} MiB materialised")
+    if args.assert_bounds:
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
+            return 1
+        print("degradation bounds asserted : "
+              + ", ".join(r.scenario for r in results))
+    return 0
+
+
+def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioError, get_workload_scenario, sweep_occupancy
+
+    try:
+        scenario = get_workload_scenario(args.name)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    factors = tuple(float(part) for part in args.factors.split(","))
+    results = sweep_occupancy(scenario, flow_slots=args.flow_slots, factors=factors)
+    if args.json:
+        print(json.dumps([result.to_dict() for result in results], indent=2))
+    else:
+        print(render_table(_SCENARIO_HEADER,
+                           [_scenario_result_row(r) for r in results]))
+    return 0
+
+
 def _cmd_list_datasets(args: argparse.Namespace) -> int:
     rows = []
     for key in DATASET_KEYS:
@@ -557,6 +675,43 @@ def build_parser() -> argparse.ArgumentParser:
                                   "collapses, the online loop recovers, and "
                                   "pre-swap verdicts are bit-identical")
     online_demo.set_defaults(func=_cmd_online_demo)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="adversarial workload suite: hostile traffic against a deployed model")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_list = scenario_sub.add_parser("list", help="list the workload catalog")
+    scenario_list.set_defaults(func=_cmd_scenario_list)
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="train clean, replay one hostile workload, report degradation")
+    scenario_run.add_argument("name", nargs="?",
+                              help="catalog scenario (default: every bounded one)")
+    scenario_run.add_argument("--flow-slots", type=int, default=1024,
+                              dest="flow_slots",
+                              help="register slots of the attacked program")
+    scenario_run.add_argument("--traffic-flows", type=int, dest="traffic_flows",
+                              help="override the legitimate flow count")
+    scenario_run.add_argument("--assert-degradation-bounds", action="store_true",
+                              dest="assert_bounds",
+                              help="exit non-zero unless each scenario stays "
+                                   "within its catalog bounds (the CI smoke)")
+    scenario_run.add_argument("--json", action="store_true",
+                              help="emit machine-readable results")
+    scenario_run.set_defaults(func=_cmd_scenario_run)
+
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep", help="replay a workload across an occupancy sweep of the table")
+    scenario_sweep.add_argument("name", help="catalog scenario name")
+    scenario_sweep.add_argument("--flow-slots", type=int, default=256,
+                                dest="flow_slots",
+                                help="register slots (the sweep's 1.0x point)")
+    scenario_sweep.add_argument("--factors", default="0.5,1,2,4,8",
+                                help="comma-separated occupancy factors")
+    scenario_sweep.add_argument("--json", action="store_true",
+                                help="emit machine-readable results")
+    scenario_sweep.set_defaults(func=_cmd_scenario_sweep)
 
     list_datasets = sub.add_parser("list-datasets",
                                    help="list datasets, systems and scenarios")

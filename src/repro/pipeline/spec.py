@@ -148,6 +148,11 @@ class ExperimentSpec:
         n_trees: Ensemble size (pForest only).
         serve: Streaming-serving settings (:class:`ServeConfig`) used by
             ``python -m repro serve`` and :meth:`Experiment.serve_engine`.
+        scenario: Optional adversarial workload
+            (:class:`repro.scenarios.ScenarioSpec`).  When set, the deployed
+            data plane honours the scenario's eviction policy, and
+            ``python -m repro scenario`` replays the scenario's traffic
+            against the trained model.
     """
 
     dataset: str = "D3"
@@ -169,12 +174,18 @@ class ExperimentSpec:
     test_size: float = 0.3
     n_trees: int = 5
     serve: ServeConfig = ServeConfig()
+    scenario: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.partition_sizes is not None and not isinstance(self.partition_sizes, tuple):
             object.__setattr__(self, "partition_sizes", tuple(self.partition_sizes))
         if isinstance(self.serve, dict):
             object.__setattr__(self, "serve", ServeConfig(**self.serve))
+        if isinstance(self.scenario, dict):
+            # Imported lazily: repro.scenarios imports the pipeline back.
+            from repro.scenarios.spec import ScenarioSpec
+
+            object.__setattr__(self, "scenario", ScenarioSpec(**self.scenario))
 
     # ------------------------------------------------------------------
     # Validation
@@ -215,6 +226,18 @@ class ExperimentSpec:
         if self.n_trees < 1:
             raise SpecError(f"n_trees must be >= 1, got {self.n_trees}")
         self.serve.validate()
+        if self.scenario is not None:
+            from repro.scenarios.spec import ScenarioSpec
+
+            if not isinstance(self.scenario, ScenarioSpec):
+                raise SpecError(
+                    f"scenario must be a ScenarioSpec or dict, "
+                    f"got {type(self.scenario).__name__}"
+                )
+            try:
+                self.scenario.validate()
+            except ValueError as exc:
+                raise SpecError(f"scenario: {exc}") from exc
         try:
             if self.system == "splidt":
                 self.model_config()
@@ -280,6 +303,10 @@ class ExperimentSpec:
         data = asdict(self)
         if data["partition_sizes"] is not None:
             data["partition_sizes"] = list(data["partition_sizes"])
+        if self.scenario is not None:
+            # ScenarioSpec.to_dict keeps the payload JSON-compatible
+            # (infinite bounds serialise as null).
+            data["scenario"] = self.scenario.to_dict()
         return data
 
     @classmethod
@@ -308,6 +335,13 @@ class ExperimentSpec:
                     )
                 serve_payload["online"] = OnlineConfig(**online_payload)
             payload["serve"] = ServeConfig(**serve_payload)
+        if isinstance(payload.get("scenario"), dict):
+            from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+            try:
+                payload["scenario"] = ScenarioSpec.from_dict(payload["scenario"])
+            except ScenarioError as exc:
+                raise SpecError(f"scenario: {exc}") from exc
         return cls(**payload)
 
     def replace(self, **changes) -> "ExperimentSpec":

@@ -35,6 +35,7 @@ from repro.dataplane.topk_program import TopKDataPlane
 from repro.datasets.materialize import WindowedDataset
 from repro.datasets.workloads import WORKLOADS
 from repro.pipeline.spec import ExperimentSpec, SpecError
+from repro.switch.registers import make_eviction_policy
 
 
 class ExperimentError(RuntimeError):
@@ -161,8 +162,14 @@ class SpliDTSystem(System):
         # Re-pin the lookup mode at deploy time: rules restored from an
         # artifact (or compiled under another spec) follow this spec's knob.
         rules.set_lookup(spec.lookup)
+        eviction = None
+        if spec.scenario is not None:
+            eviction = make_eviction_policy(
+                spec.scenario.eviction, timeout=spec.scenario.eviction_timeout
+            )
         return SpliDTDataPlane(
-            model, rules, target=spec.target_spec(), flow_slots=spec.flow_slots
+            model, rules, target=spec.target_spec(), flow_slots=spec.flow_slots,
+            eviction=eviction,
         )
 
     def resources(self, model, rules, spec):

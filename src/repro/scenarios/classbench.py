@@ -1,0 +1,205 @@
+"""ClassBench-format 5-tuple ruleset loader.
+
+ClassBench (Taylor & Turner) is the de-facto benchmark format for packet
+classifiers; Neural Packet Classification and most TCAM work evaluate on its
+filter sets.  A filter line reads::
+
+    @src_prefix/len dst_prefix/len  lo : hi  lo : hi  proto/mask [flags...]
+
+e.g. ``@192.168.0.0/16 10.0.0.0/8 0 : 65535 80 : 80 0x06/0xFF``.  Fields are
+the source/destination IPv4 prefixes, source/destination port ranges
+(inclusive), and the protocol byte with a mask (``0x00/0x00`` = any).  Any
+trailing fields (the optional flag spec) are ignored.
+
+:func:`load_classbench` parses a filter file into :class:`ClassBenchRule`
+objects (first-match priority = line order), :func:`classify` resolves a
+five-tuple against the list, and :func:`sample_tuple` draws a random
+five-tuple *matching* a given rule — which is how scenario workloads derive
+trace-like five-tuples from a ruleset (see
+:attr:`repro.scenarios.spec.ScenarioSpec.ruleset`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.flows import FiveTuple
+
+
+class ClassBenchError(ValueError):
+    """Raised on a malformed ClassBench filter file (carries the line number)."""
+
+
+_PREFIX_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})/(\d{1,2})$")
+
+
+def _parse_prefix(token: str, line_no: int) -> tuple[int, int]:
+    """An ``a.b.c.d/len`` prefix as an inclusive ``(lo, hi)`` address range."""
+    match = _PREFIX_RE.match(token)
+    if match is None:
+        raise ClassBenchError(f"line {line_no}: malformed IP prefix {token!r}")
+    octets = [int(part) for part in match.groups()[:4]]
+    length = int(match.group(5))
+    if any(octet > 255 for octet in octets) or length > 32:
+        raise ClassBenchError(f"line {line_no}: malformed IP prefix {token!r}")
+    address = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+    mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+    lo = address & mask
+    hi = lo | (~mask & 0xFFFFFFFF)
+    return lo, hi
+
+
+def _parse_port_range(lo_token: str, hi_token: str, line_no: int) -> tuple[int, int]:
+    try:
+        lo, hi = int(lo_token), int(hi_token)
+    except ValueError as exc:
+        raise ClassBenchError(
+            f"line {line_no}: malformed port range {lo_token!r} : {hi_token!r}"
+        ) from exc
+    if not (0 <= lo <= hi <= 65535):
+        raise ClassBenchError(
+            f"line {line_no}: port range {lo} : {hi} out of order or out of [0, 65535]"
+        )
+    return lo, hi
+
+
+def _parse_protocol(token: str, line_no: int) -> tuple[int, int]:
+    parts = token.split("/")
+    if len(parts) != 2:
+        raise ClassBenchError(f"line {line_no}: malformed protocol field {token!r}")
+    try:
+        proto, mask = int(parts[0], 0), int(parts[1], 0)
+    except ValueError as exc:
+        raise ClassBenchError(
+            f"line {line_no}: malformed protocol field {token!r}"
+        ) from exc
+    if not (0 <= proto <= 255 and 0 <= mask <= 255):
+        raise ClassBenchError(f"line {line_no}: protocol field {token!r} out of [0, 255]")
+    return proto, mask
+
+
+@dataclass(frozen=True)
+class ClassBenchRule:
+    """One parsed filter: field ranges plus first-match priority.
+
+    ``src_lo..src_hi`` / ``dst_lo..dst_hi`` are inclusive IPv4 address
+    ranges (prefixes always expand to ranges), ports are inclusive ranges,
+    and the protocol matches when ``protocol & proto_mask == proto & proto_mask``
+    (exact byte for ``/0xFF``, wildcard for ``/0x00``).
+    """
+
+    priority: int
+    src_lo: int
+    src_hi: int
+    dst_lo: int
+    dst_hi: int
+    sport_lo: int
+    sport_hi: int
+    dport_lo: int
+    dport_hi: int
+    proto: int
+    proto_mask: int
+
+    def matches(self, five_tuple: FiveTuple) -> bool:
+        """Whether ``five_tuple`` falls inside every field range."""
+        return (
+            self.src_lo <= five_tuple.src_ip <= self.src_hi
+            and self.dst_lo <= five_tuple.dst_ip <= self.dst_hi
+            and self.sport_lo <= five_tuple.src_port <= self.sport_hi
+            and self.dport_lo <= five_tuple.dst_port <= self.dport_hi
+            and (five_tuple.protocol & self.proto_mask) == (self.proto & self.proto_mask)
+        )
+
+
+def load_classbench(path: str | Path) -> list[ClassBenchRule]:
+    """Parse a ClassBench filter file into priority-ordered rules.
+
+    Blank lines and ``#`` comment lines are skipped; any malformed line
+    raises :class:`ClassBenchError` naming the 1-based line number.
+    """
+    rules: list[ClassBenchRule] = []
+    text = Path(path).read_text()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if not line.startswith("@"):
+            raise ClassBenchError(f"line {line_no}: filter must start with '@'")
+        tokens = line[1:].split()
+        if len(tokens) < 9:
+            raise ClassBenchError(
+                f"line {line_no}: expected at least 9 fields "
+                f"(src dst sport-range dport-range proto), got {len(tokens)}"
+            )
+        if tokens[3] != ":" or tokens[6] != ":":
+            raise ClassBenchError(
+                f"line {line_no}: port ranges must be written 'lo : hi'"
+            )
+        src_lo, src_hi = _parse_prefix(tokens[0], line_no)
+        dst_lo, dst_hi = _parse_prefix(tokens[1], line_no)
+        sport_lo, sport_hi = _parse_port_range(tokens[2], tokens[4], line_no)
+        dport_lo, dport_hi = _parse_port_range(tokens[5], tokens[7], line_no)
+        proto, proto_mask = _parse_protocol(tokens[8], line_no)
+        rules.append(
+            ClassBenchRule(
+                priority=len(rules),
+                src_lo=src_lo, src_hi=src_hi,
+                dst_lo=dst_lo, dst_hi=dst_hi,
+                sport_lo=sport_lo, sport_hi=sport_hi,
+                dport_lo=dport_lo, dport_hi=dport_hi,
+                proto=proto, proto_mask=proto_mask,
+            )
+        )
+    if not rules:
+        raise ClassBenchError(f"{path}: no filters found")
+    return rules
+
+
+def classify(rules: list[ClassBenchRule], five_tuple: FiveTuple) -> int | None:
+    """First-match rule index of ``five_tuple``, or ``None`` when nothing hits."""
+    for rule in rules:
+        if rule.matches(five_tuple):
+            return rule.priority
+    return None
+
+
+def sample_tuple(
+    rules: list[ClassBenchRule],
+    rng: np.random.Generator,
+    *,
+    rule_index: int | None = None,
+) -> FiveTuple:
+    """Draw a random five-tuple matching one rule (uniform inside its ranges).
+
+    ``rule_index`` pins the rule; otherwise one is drawn uniformly.  The
+    sampled tuple is guaranteed to match the *chosen* rule, though an
+    earlier (higher-priority) overlapping rule may still claim it on
+    classification — exactly as in a real trace.
+    """
+    if rule_index is None:
+        rule_index = int(rng.integers(0, len(rules)))
+    rule = rules[rule_index]
+    protocol = rule.proto & rule.proto_mask
+    if rule.proto_mask != 0xFF:
+        free = ~rule.proto_mask & 0xFF
+        protocol |= int(rng.integers(0, 256)) & free
+    return FiveTuple(
+        src_ip=int(rng.integers(rule.src_lo, rule.src_hi + 1)),
+        dst_ip=int(rng.integers(rule.dst_lo, rule.dst_hi + 1)),
+        src_port=int(rng.integers(rule.sport_lo, rule.sport_hi + 1)),
+        dst_port=int(rng.integers(rule.dport_lo, rule.dport_hi + 1)),
+        protocol=protocol,
+    )
+
+
+__all__ = [
+    "ClassBenchError",
+    "ClassBenchRule",
+    "classify",
+    "load_classbench",
+    "sample_tuple",
+]

@@ -34,13 +34,16 @@ def crc32_reference(data: bytes) -> int:
     return crc ^ 0xFFFFFFFF
 
 
-@lru_cache(maxsize=262144)
+@lru_cache(maxsize=65536)
 def hash_five_tuple(five_tuple: FiveTuple) -> int:
     """CRC-32 digest of a flow's 5-tuple.
 
     Memoised on the (frozen, hashable) tuple: the per-packet reference path
     re-hashes the same flow on every packet, so the byte encoding and CRC run
-    once per flow instead of once per packet.
+    once per flow instead of once per packet.  The size covers every normal
+    dataset while keeping the cache's retained tuples (~500 B each with the
+    lru bookkeeping) off the RSS bill of million-flow scenario floods, which
+    churn straight through any bounded cache anyway.
     """
     return crc32(five_tuple.as_bytes())
 

@@ -129,3 +129,28 @@ class TestLifetime:
             name = shared.layout.segment
             assert _segment_exists(name)
         assert not _segment_exists(name)
+
+
+class TestCapacityPreflight:
+    def test_oversized_segment_raises_clear_error(self, soa, monkeypatch):
+        from repro.datasets import shm as shm_module
+
+        monkeypatch.setattr(shm_module, "_shm_bytes_available", lambda: 1024)
+        with pytest.raises(shm_module.SharedMemoryCapacityError) as excinfo:
+            SharedPacketArrays.create(soa)
+        assert excinfo.value.available == 1024
+        assert excinfo.value.requested > 1024
+        assert "/dev/shm" in str(excinfo.value)
+        # Subclasses MemoryError so generic OOM handling still applies.
+        assert isinstance(excinfo.value, MemoryError)
+
+    def test_unknown_capacity_skips_preflight(self, soa, monkeypatch):
+        from repro.datasets import shm as shm_module
+
+        monkeypatch.setattr(shm_module, "_shm_bytes_available", lambda: None)
+        with SharedPacketArrays.create(soa) as shared:
+            assert shared.arrays.n_packets == soa.n_packets
+
+    def test_fitting_segment_passes_preflight(self, soa):
+        with SharedPacketArrays.create(soa) as shared:
+            assert shared.arrays.n_packets == soa.n_packets

@@ -5,8 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets.flows import PacketArrays
-from repro.datasets.streams import PacketChunk, iter_packet_chunks
+from repro.datasets.flows import FiveTuple, PacketArrays
+from repro.datasets.streams import (
+    LazyFlowList,
+    PacketChunk,
+    StreamedPacketWriter,
+    iter_packet_chunks,
+)
 
 
 class TestIterChunks:
@@ -67,3 +72,180 @@ class TestIterPacketChunks:
         assert isinstance(chunk, PacketChunk)
         assert chunk.n_packets == 11
         assert chunk.timestamps().shape == (11,)
+
+
+@pytest.fixture(scope="module")
+def streamed_source(small_dataset):
+    """The small dataset spilled through a StreamedPacketWriter."""
+    writer = StreamedPacketWriter()
+    for flow in small_dataset.flows:
+        writer.add_flow(
+            flow.five_tuple,
+            flow.label,
+            timestamps=[p.timestamp for p in flow.packets],
+            sizes=[p.size for p in flow.packets],
+            flags=[p.flags for p in flow.packets],
+            directions=[p.direction for p in flow.packets],
+            payloads=[p.payload for p in flow.packets],
+            flow_id=flow.flow_id,
+        )
+    source = writer.finish(name="streamed-d3", class_names=small_dataset.class_names)
+    yield source
+    source.close()
+
+
+_ALL_COLUMNS = (
+    "timestamps", "sizes", "flags", "directions", "payloads", "packet_flow",
+    "flow_starts", "flow_ids", "labels", "n_packets_per_flow",
+    "src_ports", "dst_ports", "protocols",
+    "first_sizes", "first_timestamps", "interleave_order",
+)
+
+
+class TestStreamedPacketWriter:
+    def test_columns_bit_identical_to_from_flows(self, small_dataset, streamed_source):
+        reference = PacketArrays.from_flows(small_dataset.flows)
+        for column in _ALL_COLUMNS:
+            got = np.asarray(getattr(streamed_source.soa, column))
+            want = np.asarray(getattr(reference, column))
+            assert np.array_equal(got, want), column
+
+    def test_lazy_flows_round_trip(self, small_dataset, streamed_source):
+        assert len(streamed_source.flows) == small_dataset.n_flows
+        for index in (0, 17, small_dataset.n_flows - 1):
+            lazy, real = streamed_source.flows[index], small_dataset.flows[index]
+            assert lazy.five_tuple == real.five_tuple
+            assert lazy.label == real.label
+            assert lazy.flow_id == real.flow_id
+            assert lazy.class_name == real.class_name
+            assert lazy.n_packets == real.n_packets
+            # duration exercises packets[-1] (negative indexing)
+            assert lazy.duration == real.duration
+            assert lazy.packets[0].size == real.packets[0].size
+
+    def test_lazy_flows_negative_and_out_of_range(self, streamed_source):
+        n = len(streamed_source.flows)
+        assert streamed_source.flows[-1].flow_id == streamed_source.flows[n - 1].flow_id
+        with pytest.raises(IndexError):
+            streamed_source.flows[n]
+        first = streamed_source.flows[0]
+        with pytest.raises(IndexError):
+            first.packets[first.n_packets]
+
+    def test_iter_packet_chunks_does_not_materialise(self, streamed_source):
+        chunks = list(streamed_source.iter_chunks(97))
+        assert all(chunk.flows is streamed_source.flows for chunk in chunks)
+        assert isinstance(chunks[0].flows, LazyFlowList)
+        total = sum(chunk.n_packets for chunk in chunks)
+        assert total == streamed_source.n_packets
+
+    def test_block_append_matches_per_flow_append(self, small_dataset):
+        flows = small_dataset.flows[:40]
+        per_flow = StreamedPacketWriter()
+        for flow in flows:
+            per_flow.add_flow(
+                flow.five_tuple,
+                flow.label,
+                timestamps=[p.timestamp for p in flow.packets],
+                sizes=[p.size for p in flow.packets],
+                flags=[p.flags for p in flow.packets],
+                directions=[p.direction for p in flow.packets],
+                payloads=[p.payload for p in flow.packets],
+                flow_id=flow.flow_id,
+            )
+        block = StreamedPacketWriter()
+        block.add_flow_block(
+            src_ips=np.array([f.five_tuple.src_ip for f in flows]),
+            dst_ips=np.array([f.five_tuple.dst_ip for f in flows]),
+            src_ports=np.array([f.five_tuple.src_port for f in flows]),
+            dst_ports=np.array([f.five_tuple.dst_port for f in flows]),
+            protocols=np.array([f.five_tuple.protocol for f in flows]),
+            labels=np.array([f.label for f in flows]),
+            counts=np.array([f.n_packets for f in flows]),
+            timestamps=np.array([p.timestamp for f in flows for p in f.packets]),
+            sizes=np.array([p.size for f in flows for p in f.packets]),
+            flags=np.array([p.flags for f in flows for p in f.packets]),
+            directions=np.array([p.direction for f in flows for p in f.packets]),
+            payloads=np.array([p.payload for f in flows for p in f.packets]),
+            flow_ids=np.array([f.flow_id for f in flows]),
+        )
+        with per_flow.finish() as a, block.finish() as b:
+            for column in _ALL_COLUMNS:
+                assert np.array_equal(
+                    np.asarray(getattr(a.soa, column)), np.asarray(getattr(b.soa, column))
+                ), column
+
+    def test_non_monotonic_flow_ids_still_match_lexsort(self):
+        # Two flows sharing one timestamp but appended in descending-id order
+        # force the full lexsort path; the interleave must order the tie by
+        # flow id, not append order.
+        writer = StreamedPacketWriter()
+        writer.add_flow(
+            FiveTuple(1, 2, 3, 4, 6), 0, timestamps=[5.0], sizes=[100], flow_id=9
+        )
+        writer.add_flow(
+            FiveTuple(5, 6, 7, 8, 6), 1, timestamps=[5.0], sizes=[200], flow_id=2
+        )
+        with writer.finish() as source:
+            assert list(source.soa.interleave_order) == [1, 0]
+
+    def test_empty_writer_finishes(self):
+        with StreamedPacketWriter().finish() as source:
+            assert source.n_flows == 0 and source.n_packets == 0
+            chunks = list(source.iter_chunks(8))
+            assert len(chunks) == 1 and chunks[0].n_packets == 0
+
+    def test_writer_rejects_use_after_finish(self):
+        writer = StreamedPacketWriter()
+        source = writer.finish()
+        try:
+            with pytest.raises(RuntimeError, match="finished"):
+                writer.add_flow(FiveTuple(1, 2, 3, 4, 6), 0, timestamps=[], sizes=[])
+        finally:
+            source.close()
+
+    def test_close_removes_backing_directory(self):
+        writer = StreamedPacketWriter()
+        writer.add_flow(FiveTuple(1, 2, 3, 4, 6), 0, timestamps=[0.0], sizes=[64])
+        source = writer.finish()
+        directory = source.directory
+        assert directory.exists() and source.spilled_bytes() > 0
+        source.close()
+        assert not directory.exists()
+        source.close()  # idempotent
+
+    def test_materialised_estimate_dominates_spilled(self, streamed_source):
+        # The object-form estimate must exceed the raw spilled bytes by a
+        # healthy margin — that gap is the whole point of streaming.
+        assert streamed_source.materialised_bytes_estimate() > streamed_source.spilled_bytes()
+
+
+class TestStreamedReplayParity:
+    def test_fused_replay_matches_materialised(
+        self, small_dataset, streamed_source, splidt_model, splidt_rules
+    ):
+        from repro.dataplane import SpliDTDataPlane
+        from repro.dataplane import vectorized as vz
+
+        def run(flows, soa):
+            program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=64)
+            vz.replay_arrays(program, flows, soa=soa)
+            return dict(program.verdicts), program.recirculation_stats()
+
+        want = run(small_dataset.flows, small_dataset.packet_arrays())
+        got = run(streamed_source.flows, streamed_source.soa)
+        assert got == want
+
+    def test_serve_engine_accepts_streamed_chunks(
+        self, streamed_source, splidt_model, splidt_rules
+    ):
+        from repro.dataplane import SpliDTDataPlane
+        from repro.serve import MicroBatchEngine
+
+        program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=64)
+        engine = MicroBatchEngine(program).open()
+        for chunk in streamed_source.iter_chunks(256):
+            engine.ingest(chunk)
+        result = engine.close()
+        assert engine.verdicts()  # flows decided through the streamed path
+        assert len(result.labels) == streamed_source.n_flows

@@ -39,6 +39,7 @@ from repro.dataplane import SpliDTDataPlane, replay_dataset
 from repro.datasets.flows import FiveTuple, Flow, FlowDataset, Packet
 from repro.datasets.streams import PacketChunk
 from repro.serve import MicroBatchEngine, StreamingEngine
+from repro.switch.registers import make_eviction_policy
 
 #: Fixed regression corpus — every seed here runs on every pytest invocation.
 FIXED_SEEDS = tuple(range(16))
@@ -117,29 +118,30 @@ def _snapshot(program, result) -> dict:
             for digest in program.controller.digests
         ),
         "recirculation": dict(result.recirculation),
+        "eviction": program.eviction_stats(),
     }
 
 
 def _diff(name: str, oracle: dict, candidate: dict) -> str | None:
     if oracle == candidate:
         return None
-    for key in ("verdicts", "digests", "recirculation"):
+    for key in ("verdicts", "digests", "recirculation", "eviction"):
         if oracle[key] != candidate[key]:
             return f"{name}: {key} diverge\n  oracle={oracle[key]!r}\n  {name}={candidate[key]!r}"
     return f"{name}: snapshots diverge"
 
 
-def _run_engines(model, rules, flows, table_size, chunk_rng) -> str | None:
+def _run_engines(model, rules, flows, table_size, chunk_rng, eviction=None) -> str | None:
     """Replay one trace through all engines; return a mismatch description."""
     dataset = _dataset(flows)
     snapshots = {}
     for engine in ("reference", "vectorized", "fused"):
-        program = SpliDTDataPlane(model, rules, flow_slots=table_size)
+        program = SpliDTDataPlane(model, rules, flow_slots=table_size, eviction=eviction)
         result = replay_dataset(program, dataset, engine=engine)
         snapshots[engine] = _snapshot(program, result)
 
     # Eager micro-batch with randomly sized chunks.
-    program = SpliDTDataPlane(model, rules, flow_slots=table_size)
+    program = SpliDTDataPlane(model, rules, flow_slots=table_size, eviction=eviction)
     serving = MicroBatchEngine(
         program, eager=True, flush_flows=chunk_rng.choice((1, 2, 8))
     )
@@ -167,7 +169,7 @@ def _run_engines(model, rules, flows, table_size, chunk_rng) -> str | None:
     return None
 
 
-def _run_truncated(model, rules, flows, table_size, cut_rng) -> str | None:
+def _run_truncated(model, rules, flows, table_size, cut_rng, eviction=None) -> str | None:
     """Streaming vs micro-batch parity on a stream cut off mid-flight."""
     dataset = _dataset(flows)
     soa = dataset.packet_arrays()
@@ -180,7 +182,7 @@ def _run_truncated(model, rules, flows, table_size, cut_rng) -> str | None:
         ("streaming", lambda p: StreamingEngine(p)),
         ("microbatch", lambda p: MicroBatchEngine(p, eager=False)),
     ):
-        program = SpliDTDataPlane(model, rules, flow_slots=table_size)
+        program = SpliDTDataPlane(model, rules, flow_slots=table_size, eviction=eviction)
         serving = make(program)
         serving.open()
         serving.ingest(PacketChunk(soa=soa, flows=dataset.flows, positions=prefix))
@@ -221,15 +223,29 @@ def _minimize(flows, still_failing) -> list[Flow]:
     return flows
 
 
-def _fuzz_one(seed: int, model, rules, *, truncated: bool) -> None:
+def _random_eviction_policy(rng: random.Random):
+    """A random collision-slot eviction policy (LRU or a random idle timeout)."""
+    if rng.random() < 0.4:
+        return make_eviction_policy("lru")
+    # Timeouts straddle the trace's inter-arrival gaps: 0.0 evicts on any
+    # strictly-later packet, 5.0 almost never fires.
+    timeout = rng.choice((0.0, 1e-4, 0.05, 0.5, 2.0, 5.0))
+    return make_eviction_policy("idle-timeout", timeout=timeout)
+
+
+def _fuzz_one(seed: int, model, rules, *, truncated: bool, eviction=None) -> None:
     rng = random.Random(seed)
     flows, table_size = _random_trace(rng)
 
     def check(candidate_flows):
         fresh_rng = random.Random(seed + 1)  # deterministic chunk/cut sizes
         if truncated:
-            return _run_truncated(model, rules, candidate_flows, table_size, fresh_rng)
-        return _run_engines(model, rules, candidate_flows, table_size, fresh_rng)
+            return _run_truncated(
+                model, rules, candidate_flows, table_size, fresh_rng, eviction
+            )
+        return _run_engines(
+            model, rules, candidate_flows, table_size, fresh_rng, eviction
+        )
 
     mismatch = check(flows)
     if mismatch is None:
@@ -242,7 +258,7 @@ def _fuzz_one(seed: int, model, rules, *, truncated: bool) -> None:
     )
     pytest.fail(
         f"parity mismatch (seed={seed}, table_size={table_size}, "
-        f"truncated={truncated}):\n{check(minimal)}\n"
+        f"truncated={truncated}, eviction={eviction!r}):\n{check(minimal)}\n"
         f"minimized trace ({len(minimal)} flows):\n{trace}\n"
         f"repro: PARITY_FUZZ_SEED={seed} PARITY_FUZZ_CASES=1 "
         f"python -m pytest tests/test_parity_fuzz.py -s"
@@ -261,11 +277,28 @@ def test_parity_fuzz_truncated_streams(seed, splidt_model, splidt_rules):
     _fuzz_one(seed, splidt_model, splidt_rules, truncated=True)
 
 
+@pytest.mark.parametrize("seed", FIXED_SEEDS)
+def test_parity_fuzz_eviction_corpus(seed, splidt_model, splidt_rules):
+    """Eviction-enabled corpus: all four engines agree on evicted/undecided.
+
+    Every seed replays its trace under a random eviction policy (LRU or a
+    random idle timeout) — the same collision-heavy tables as the base
+    corpus, so slot-capacity pressure triggers real evictions.  The snapshot
+    includes :meth:`SpliDTDataPlane.eviction_stats`, locking the engines to
+    identical evicted-flow sets, not just identical verdicts.
+    """
+    policy_rng = random.Random(0xE51C7 + seed)
+    policy = _random_eviction_policy(policy_rng)
+    _fuzz_one(seed, splidt_model, splidt_rules,
+              truncated=seed % 4 == 3, eviction=policy)
+
+
 def test_parity_fuzz_random_burst(splidt_model, splidt_rules):
     """A short randomized burst; seeds are printed so failures reproduce.
 
     ``PARITY_FUZZ_SEED`` pins the base seed, ``PARITY_FUZZ_CASES`` scales the
     burst (CI runs a fixed seed plus a small burst; set it higher for a soak).
+    Every other case runs under a random eviction policy.
     """
     cases = int(os.environ.get("PARITY_FUZZ_CASES", "3"))
     base_env = os.environ.get("PARITY_FUZZ_SEED")
@@ -273,7 +306,46 @@ def test_parity_fuzz_random_burst(splidt_model, splidt_rules):
     seeds = [base + offset for offset in range(cases)]
     print(f"\nparity-fuzz random burst: seeds={seeds}")
     for seed in seeds:
-        _fuzz_one(seed, splidt_model, splidt_rules, truncated=seed % 3 == 0)
+        eviction = (
+            _random_eviction_policy(random.Random(seed ^ 0xE51C7))
+            if seed % 2 == 0 else None
+        )
+        _fuzz_one(seed, splidt_model, splidt_rules,
+                  truncated=seed % 3 == 0, eviction=eviction)
+
+
+def test_eviction_resolves_undecided(splidt_model, splidt_rules):
+    """An evicted flow loses its state and ends undecided, bit-exactly.
+
+    Flow 0 has fewer packets than partitions (it can never decide) and idles;
+    flow 1 collides into the same slot long after the idle timeout, so flow 0
+    is evicted.  All engines must agree that flow 0 has no verdict and that
+    exactly one eviction (of flow 0) happened.
+    """
+    tuple_a = FiveTuple(src_ip=1, dst_ip=2, src_port=3, dst_port=4, protocol=6)
+    # Force a slot collision on a table of one slot.
+    tuple_b = FiveTuple(src_ip=9, dst_ip=8, src_port=7, dst_port=6, protocol=17)
+    flows = [
+        Flow(five_tuple=tuple_a,
+             packets=[Packet(timestamp=0.0, size=100, flags=0x10)],
+             label=0, class_name="", flow_id=0),
+        Flow(five_tuple=tuple_b,
+             packets=[Packet(timestamp=10.0 + 0.01 * i, size=200) for i in range(8)],
+             label=1, class_name="", flow_id=1),
+    ]
+    policy = make_eviction_policy("idle-timeout", timeout=1.0)
+    mismatch = _run_engines(splidt_model, splidt_rules, flows, 1,
+                            random.Random(0), policy)
+    assert mismatch is None, mismatch
+
+    program = SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=1,
+                              eviction=policy)
+    result = replay_dataset(program, _dataset(flows), engine="fused")
+    stats = program.eviction_stats()
+    assert 0 not in result.verdicts
+    assert 1 in result.verdicts
+    assert stats["evictions"] == 1
+    assert stats["evicted_flows"] == [0]
 
 
 def test_duplicate_five_tuple_goes_scalar(splidt_model, splidt_rules):

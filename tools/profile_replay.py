@@ -12,10 +12,17 @@ Usage (from the repository root)::
     PYTHONPATH=src python tools/profile_replay.py --engine reference --sort tottime
     PYTHONPATH=src python tools/profile_replay.py --engine fused --json profile.json
     PYTHONPATH=src python tools/profile_replay.py --online --swap-at 0.5
+    PYTHONPATH=src python tools/profile_replay.py --scenario ddos-eviction-smoke
 
 The profiled region is *only* the replay (the program is built and the
 lookup plane compiled beforehand), so the report shows the steady-state
 serving cost — the part the paper claims runs at line rate.
+
+``--scenario <name>`` profiles the replay of a catalog workload scenario
+(:mod:`repro.scenarios`) instead of the clean dataset: the model still
+trains on clean traffic, but the profiled replay carries the scenario's
+adversarial layers and runs under its eviction policy — the hot path under
+attack.
 
 ``--online`` profiles a serve-path session instead: the stream runs through
 a :mod:`repro.serve` engine and a same-model ``swap_model`` is forced at the
@@ -59,6 +66,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="replay engine")
     parser.add_argument("--lookup", default="lut", choices=("lut", "scan"),
                         help="model-table lookup strategy")
+    parser.add_argument("--scenario",
+                        help="profile the replay of a catalog workload "
+                             "scenario (see `python -m repro scenario list`) "
+                             "instead of the clean dataset")
+    parser.add_argument("--flow-slots", type=int, default=None, dest="flow_slots",
+                        help="register slots (default 65536; scenarios often "
+                             "want fewer to create table pressure)")
     parser.add_argument("--online", action="store_true",
                         help="profile a serve-path session with a forced "
                              "mid-stream model swap instead of a plain replay")
@@ -85,21 +99,30 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.online and not 0.0 < args.swap_at < 1.0:
         parser.error("--swap-at must be strictly between 0 and 1")
+    if args.online and args.scenario:
+        parser.error("--online and --scenario are mutually exclusive")
 
     from repro.dataplane import replay_dataset
     from repro.dataplane.kernels import backend as kernel_backend
     from repro.pipeline import Experiment, ExperimentSpec
 
+    scenario = None
+    if args.scenario:
+        from repro.scenarios import get_workload_scenario
+
+        scenario = get_workload_scenario(args.scenario)
+
     spec = ExperimentSpec(
-        dataset=args.dataset,
+        dataset=scenario.dataset if scenario else args.dataset,
         n_flows=args.flows,
-        seed=args.seed,
+        seed=scenario.seed if scenario else args.seed,
         depth=args.depth,
         features_per_subtree=args.k,
         n_partitions=args.partitions,
         lookup=args.lookup,
         replay_flows=None,
-        flow_slots=65536,
+        flow_slots=args.flow_slots or 65536,
+        scenario=scenario,
     ).validate()
 
     experiment = Experiment(spec)
@@ -108,16 +131,39 @@ def main(argv: list[str] | None = None) -> int:
           f"P={spec.n_partitions} ...", flush=True)
     started = time.perf_counter()
     model, rules = experiment.train(), experiment.compile()
-    dataset = experiment.prepare().dataset
-    n_packets = sum(flow.n_packets for flow in dataset.flows)
     profiler = cProfile.Profile()
     swap_event = None
+    workload = None
 
-    if args.online:
+    if scenario is not None:
+        from repro.dataplane.runtime import build_replay_result
+        from repro.scenarios import build_workload
+        from repro.scenarios.runner import replay_workload
+
+        workload = build_workload(scenario)
+        n_packets = workload.n_packets
+        program = experiment.system.build_program(model, rules, spec)
+        print(f"staged in {time.perf_counter() - started:.1f}s; profiling "
+              f"scenario {scenario.name!r} replay ({args.lookup} lookup, "
+              f"{workload.n_flows} flows / {n_packets} packets, "
+              f"eviction {scenario.eviction})", flush=True)
+        replay_started = time.perf_counter()
+        profiler.enable()
+        replay_workload(program, workload)
+        profiler.disable()
+        elapsed = time.perf_counter() - replay_started
+        labels = {fid: int(workload.soa.labels[fid])
+                  for fid in range(workload.n_legit)}
+        result = build_replay_result(program.verdicts, labels,
+                                     program.recirculation_stats())
+        workload.close()
+    elif args.online:
         from repro.datasets.streams import iter_packet_chunks
         from repro.online.loop import OnlineProgramFactory
         from repro.serve import create_engine
 
+        dataset = experiment.prepare().dataset
+        n_packets = sum(flow.n_packets for flow in dataset.flows)
         chunks = list(iter_packet_chunks(dataset.flows, args.chunk_size))
         swap_chunk = max(1, min(len(chunks) - 1,
                                 int(len(chunks) * args.swap_at)))
@@ -139,6 +185,8 @@ def main(argv: list[str] | None = None) -> int:
         profiler.disable()
         elapsed = time.perf_counter() - replay_started
     else:
+        dataset = experiment.prepare().dataset
+        n_packets = sum(flow.n_packets for flow in dataset.flows)
         program = experiment.system.build_program(model, rules, spec)
         print(f"staged in {time.perf_counter() - started:.1f}s; profiling "
               f"{args.engine} replay ({args.lookup} lookup, {n_packets} "
@@ -178,9 +226,11 @@ def main(argv: list[str] | None = None) -> int:
             })
         summary = {
             "engine": args.serve_engine if args.online else args.engine,
-            "mode": "online" if args.online else "replay",
+            "mode": ("scenario" if scenario is not None
+                     else "online" if args.online else "replay"),
+            "scenario": args.scenario,
             "lookup": args.lookup,
-            "dataset": args.dataset,
+            "dataset": spec.dataset,
             "flows": args.flows,
             "depth": args.depth,
             "k": args.k,
