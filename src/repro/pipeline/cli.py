@@ -100,6 +100,7 @@ def _spec_from_args(args: argparse.Namespace, *, system: str | None = None) -> E
     serve_overrides = {}
     for flag, field_name in (("serve_engine", "engine"), ("shards", "shards"),
                              ("workers", "workers"), ("spawn_method", "spawn_method"),
+                             ("transport", "transport"), ("ring_slots", "ring_slots"),
                              ("chunk_size", "chunk_size"), ("backpressure", "backpressure")):
         value = getattr(args, flag, None)
         if value is not None:
@@ -235,7 +236,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         parallelism = f", {serve.shards} thread shards"
     elif serve.engine == "sharded-mp":
         parallelism = (f", {serve.workers} worker processes"
-                       + (f" ({serve.spawn_method})" if serve.spawn_method else ""))
+                       + (f" ({serve.spawn_method})" if serve.spawn_method else "")
+                       + f", {serve.transport or 'ring'} transport")
     online_note = f", online {serve.online.detector}" if controller else ""
     print(f"serving           : {spec.system} on {spec.dataset} "
           f"({serve.engine} engine{parallelism}, chunks of {serve.chunk_size} pkts"
@@ -624,6 +626,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("fork", "spawn", "forkserver"),
                        help="process start method for sharded-mp "
                             "(default: the platform's)")
+    serve.add_argument("--transport", choices=("queue", "ring"),
+                       help="sharded-mp IPC transport: shared-memory rings "
+                            "(default) or the legacy multiprocessing queue")
+    serve.add_argument("--ring-slots", type=int, dest="ring_slots",
+                       help="slots per worker ring for --transport ring "
+                            "(the transport's backpressure bound)")
     serve.add_argument("--chunk-size", type=int, dest="chunk_size",
                        help="packets per ingested chunk")
     serve.add_argument("--backpressure", type=int,

@@ -260,6 +260,8 @@ class Experiment:
             shards=serve.shards,
             workers=serve.workers,
             spawn_method=serve.spawn_method,
+            transport=serve.transport,
+            ring_slots=serve.ring_slots,
             chunk_size=serve.chunk_size,
             backpressure=serve.backpressure,
         )

@@ -55,6 +55,13 @@ class ServeConfig:
         spawn_method: Process start method for ``"sharded-mp"`` —
             ``"fork"``, ``"spawn"``, ``"forkserver"`` or ``None`` (the
             platform default: fork on Linux, spawn on macOS/Windows).
+        transport: IPC transport for ``"sharded-mp"`` — ``"ring"``
+            (shared-memory SPSC rings, the fast path), ``"queue"`` (the
+            legacy ``multiprocessing.Queue``, kept for A/B comparison) or
+            ``None`` (resolve from ``SPLIDT_SERVE_TRANSPORT``, default
+            ``"ring"``).
+        ring_slots: Slots per worker ring for the ring transport; a full
+            ring is the transport's backpressure (``ingest`` blocks).
         chunk_size: Packets per ingested chunk when streaming a dataset.
         backpressure: Buffered-packet limit before ingestion errors
             (micro-batch) or blocks (sharded queues).
@@ -67,6 +74,8 @@ class ServeConfig:
     shards: int = 2
     workers: int = 4
     spawn_method: str | None = None
+    transport: str | None = None
+    ring_slots: int = 64
     chunk_size: int = 256
     backpressure: int = 1_000_000
     online: OnlineConfig = OnlineConfig()
@@ -90,6 +99,13 @@ class ServeConfig:
                 f"unknown serve spawn_method {self.spawn_method!r}; "
                 f"expected one of {SPAWN_METHODS}"
             )
+        if self.transport not in (None, "queue", "ring"):
+            raise SpecError(
+                f"unknown serve transport {self.transport!r}; "
+                "expected 'queue', 'ring' or null"
+            )
+        if self.ring_slots < 1:
+            raise SpecError(f"serve ring_slots must be >= 1, got {self.ring_slots}")
         if self.chunk_size < 1:
             raise SpecError(f"serve chunk_size must be >= 1, got {self.chunk_size}")
         if self.backpressure < self.chunk_size:

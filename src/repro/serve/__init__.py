@@ -48,6 +48,8 @@ def create_engine(
     shards: int = 2,
     workers: int = 4,
     spawn_method: str | None = None,
+    transport: str | None = None,
+    ring_slots: int = 64,
     chunk_size: int = 256,
     backpressure: int = DEFAULT_BACKPRESSURE,
     flush_flows: int = DEFAULT_FLUSH_FLOWS,
@@ -71,6 +73,12 @@ def create_engine(
         workers: Worker-process count (``"sharded-mp"`` only).
         spawn_method: Process start method for ``"sharded-mp"``
             (``None`` = the platform default).
+        transport: IPC transport for ``"sharded-mp"``: ``"ring"``
+            (shared-memory SPSC rings), ``"queue"`` (the legacy
+            ``multiprocessing.Queue``), or ``None`` to resolve from
+            ``SPLIDT_SERVE_TRANSPORT`` (default ``"ring"``).
+        ring_slots: Slots per worker ring for the ring transport (its
+            backpressure bound: a full ring blocks ``ingest``).
         chunk_size: Expected ingest chunk size (used to size shard queues).
         backpressure: Buffered-packet limit.
         flush_flows: Eager-flush threshold of the micro-batch engine(s).
@@ -101,6 +109,8 @@ def create_engine(
             program_factory,
             workers=workers,
             start_method=spawn_method,
+            transport=transport,
+            ring_slots=ring_slots,
             queue_depth=queue_depth,
             flush_flows=flush_flows,
             backpressure=backpressure,

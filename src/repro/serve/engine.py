@@ -91,6 +91,11 @@ class EngineStats:
         ttd: Rolling time-to-detection summary (median/mean/p90/p99/max, s).
         recirculation: Recirculation counters so far (empty when the program
             has no recirculation channel).
+        transport: IPC-transport health counters (empty for the in-process
+            engines and the queue transport).  The process-sharded ring
+            transport reports ``ring_slots``, live ``ring_occupancy`` and
+            producer/consumer stall episodes — see
+            ``ProcessShardedEngine._transport_stats``.
     """
 
     engine: str
@@ -102,6 +107,7 @@ class EngineStats:
     accuracy: float
     ttd: dict[str, float] = field(default_factory=dict)
     recirculation: dict[str, float] = field(default_factory=dict)
+    transport: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -248,10 +254,11 @@ class InferenceEngine(abc.ABC):
     def open(self) -> "InferenceEngine":
         """Start a serving session; must precede the first ``ingest``.
 
-        Non-blocking for every engine (the sharded engines defer any
-        expensive per-shard setup to the first ``ingest``, when the packet
-        source is known).  An engine opens exactly once; re-opening raises
-        :class:`ServeError`.
+        The sharded engines pre-bind here: ``open()`` blocks until every
+        shard/worker has built its program, so the serving window that
+        follows contains no warm-up (source-dependent setup still waits for
+        the first ``ingest``, when the packet arrays are known).  An engine
+        opens exactly once; re-opening raises :class:`ServeError`.
         """
         if self._state != "created":
             raise ServeError(f"cannot open() an engine in state {self._state!r}")
@@ -379,6 +386,10 @@ class InferenceEngine(abc.ABC):
         """This engine's :func:`channel_aggregate` tuples (one per program)."""
         return []
 
+    def _transport_stats(self) -> dict[str, float]:
+        """IPC-transport health counters (empty for in-process engines)."""
+        return {}
+
     def _collect_channel_aggregates(self) -> list:
         aggregates = list(self._engine_channel_aggregates())
         for child in self._epoch_children:
@@ -411,6 +422,7 @@ class InferenceEngine(abc.ABC):
             accuracy=self._rolling_report.accuracy,
             ttd=self._rolling_ttd.summary(),
             recirculation=self.recirculation_stats(),
+            transport=self._transport_stats(),
         )
 
     # ------------------------------------------------------------------

@@ -10,43 +10,66 @@ shards are configured.  This module lifts the same partitioning onto worker
   :class:`~repro.datasets.shm.SharedPacketArrays` segment; every worker
   attaches zero-copy NumPy views over the same pages;
 * per-chunk messages carry only packet *positions* (``intp`` indices into
-  the shared columns) through a bounded queue per worker — no packet payload
-  is ever pickled per chunk;
+  the shared columns) — over one of two transports:
+
+  - ``"ring"`` (the default): a single-producer/single-consumer
+    shared-memory ring buffer per worker (:mod:`repro.serve.ring`).  The
+    parent copies each per-shard position span straight into the worker's
+    ring arena and bumps a cursor; nothing is pickled per chunk, ``ingest``
+    returns as soon as the copy lands (so the parent stages chunk N+1 while
+    workers consume chunk N), and crash detection is folded into the
+    busy-wait-then-backoff loops on both sides;
+  - ``"queue"``: the legacy bounded :class:`multiprocessing.Queue` per
+    worker — kept for A/B comparison (``--transport queue``) and exercised
+    by CI under ``SPLIDT_SERVE_TRANSPORT=queue``;
+
 * each worker owns a fresh program instance (its own register file and
   recirculation channel) plus a child engine, exactly like a thread shard;
-* verdicts are merged by globally unique flow id and recirculation counters
-  by :func:`repro.serve.engine.merge_channel_aggregates`, so the merged
-  result is **bit-identical** to the thread-sharded and reference engines.
+  programs are **pre-bound at pool start** — ``open()`` blocks until every
+  worker has built its program (LUT compilation included), so warm-up is
+  paid once up front instead of inside the serving window;
+* verdict and recirculation aggregation happens **in the workers**: each
+  worker keeps its own verdict dict and
+  :func:`~repro.serve.engine.channel_aggregate`, and ships one merged
+  payload per drain/snapshot round.  The parent folds payloads in *worker
+  index order* (never arrival order), so the merged verdict stream is
+  bit-identical run to run even when a worker finishes late.
 
 Because flows that share a register slot land on the same worker by
 construction (``slot % workers``), hash-collision corruption is reproduced
 bit-exactly — the parity suite runs this engine against the reference
-interpreter at 64-slot collision pressure.
+interpreter at 64-slot collision pressure, over both transports.
 
-Teardown is crash-safe: the parent owns the shared segment and unlinks it on
-``close()``, on any failure path, and from a ``weakref.finalize`` guard, so
-a worker crash mid-stream cannot leak ``/dev/shm`` segments.  A dead worker
-is detected on the next ``ingest``/``drain``/``stats`` call and surfaces as
-a :class:`~repro.serve.engine.ServeError` after cleanup.
+Teardown is crash-safe: the parent owns the shared segments (the packet
+source *and* the rings) and unlinks them on ``close()``, on any failure
+path, and from a ``weakref.finalize`` guard, so a worker crash mid-stream
+cannot leak ``/dev/shm`` segments.  A dead worker is detected inside the
+blocking ring/queue waits and on the next ``ingest``/``drain``/``stats``
+call, surfacing as a :class:`~repro.serve.engine.ServeError` after cleanup;
+a worker that loses its parent (re-parenting observed while blocked on an
+empty ring) tears itself down.
 
 Start methods: ``None`` follows the platform default — ``"fork"`` on Linux
 (inherits the parent's imports cheaply), ``"spawn"`` on macOS/Windows;
-``"spawn"``/``"forkserver"`` re-import the package per worker.  Under every start method the program factory — and everything it
-references — must be picklable, because it is shipped through the bind
-message (the pipeline's :class:`repro.pipeline.systems.ProgramFactory` is;
-lambdas and closures are rejected with an actionable error).
+``"spawn"``/``"forkserver"`` re-import the package per worker.  Under every
+start method the program factory — and everything it references — must be
+picklable, because it is shipped through the bind message (the pipeline's
+:class:`repro.pipeline.systems.ProgramFactory` is; lambdas and closures are
+rejected with an actionable error at ``open()``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
+import time
 import traceback
 import weakref
 
 import numpy as np
 
-from repro.datasets.shm import SharedArraysLayout, SharedPacketArrays
+from repro.datasets.shm import SharedPacketArrays, flow_meta, flows_from_meta
 from repro.datasets.streams import PacketChunk
 from repro.serve.engine import (
     InferenceEngine,
@@ -54,15 +77,63 @@ from repro.serve.engine import (
     channel_aggregate,
     merge_channel_aggregates,
 )
+from repro.serve.ring import (
+    KIND_CHUNK,
+    KIND_DRAIN,
+    KIND_SNAPSHOT,
+    KIND_STOP,
+    RingFullError,
+    SpscRing,
+)
 
 #: Start methods accepted by :class:`ProcessShardedEngine` (``None`` = pick).
 START_METHODS = (None, "fork", "spawn", "forkserver")
+
+#: Transports accepted by :class:`ProcessShardedEngine` (``None`` = env/default).
+TRANSPORTS = (None, "queue", "ring")
+
+#: Environment variable selecting the default transport (CI's legacy-path knob).
+TRANSPORT_ENV = "SPLIDT_SERVE_TRANSPORT"
+
+#: Transport used when neither the constructor nor the env pins one.
+DEFAULT_TRANSPORT = "ring"
+
+#: Default ring geometry: slots per worker ring / positions per slot span.
+DEFAULT_RING_SLOTS = 64
+DEFAULT_RING_SPAN = 4096
+
+#: Test hook: ``"<worker index>:<seconds>"`` delays that worker's drain reply,
+#: so the deterministic-merge regression test can force an adversarial finish
+#: order without touching engine code.
+DRAIN_SLEEP_ENV = "SPLIDT_SERVE_TEST_DRAIN_SLEEP"
 
 #: Seconds to wait for a worker to build its program and report ready.
 _READY_TIMEOUT = 300.0
 
 #: Poll interval (seconds) for queue operations that must watch liveness.
 _POLL = 0.2
+
+#: Bounded wait for best-effort stop messages during teardown.
+_STOP_TIMEOUT = 0.25
+
+
+def _resolve_transport(transport: str | None) -> str:
+    """Constructor argument wins; then ``SPLIDT_SERVE_TRANSPORT``; then ring."""
+    if transport is not None:
+        return transport
+    return os.environ.get(TRANSPORT_ENV) or DEFAULT_TRANSPORT
+
+
+def _drain_sleep_for(index: int) -> float:
+    """Seconds the test hook wants worker ``index`` to nap before replying."""
+    raw = os.environ.get(DRAIN_SLEEP_ENV)
+    if not raw:
+        return 0.0
+    try:
+        target, _, seconds = raw.partition(":")
+        return float(seconds) if int(target) == index else 0.0
+    except ValueError:
+        return 0.0
 
 
 def _snapshot_payload(engine, program, reported: set) -> dict:
@@ -87,6 +158,10 @@ def _snapshot_payload(engine, program, reported: set) -> dict:
     }
 
 
+class _ParentLost(RuntimeError):
+    """Worker-side: the parent process died while we waited on the ring."""
+
+
 def _worker_main(
     index: int,
     child_engine: str,
@@ -95,40 +170,44 @@ def _worker_main(
     tasks,
     results,
 ) -> None:
-    """Worker process body: attach shared views, run a child engine, reply.
+    """Worker process body: build the program, attach shared views, serve.
 
-    The first message must be ``("bind", payload)`` where ``payload`` is the
-    parent's pre-pickled ``(program_factory, layout, flows)`` blob:
-    everything heavyweight travels through the task queue rather than the
-    ``Process`` args, because a large args pickle is written synchronously
-    by ``process.start()`` — the parent would block forever in ``start()``
-    if a worker died mid-unpickle (the parent still holds the arg pipe's
-    read end, so the write never sees EOF).  Queue puts go through a daemon
-    feeder thread, keeping the parent responsive for liveness checks; the
-    payload is pickled *once*, eagerly, on the caller's thread, so an
-    unpicklable factory fails loudly instead of vanishing in the feeder.
+    Startup is two-phase so programs pre-bind before any traffic exists:
 
-    The loop then consumes ``("seed", slots)`` / ``("chunk", positions)`` /
-    ``("drain",)`` / ``("snapshot",)`` / ``("stop",)`` messages.  After any
-    failure it keeps consuming (and discarding) messages until ``stop`` so
-    the parent's bounded-queue puts can never deadlock against a wedged
-    shard; the failure itself travels back as an ``("error", index, trace)``
-    message.
+    1. ``("bind", factory_bytes)`` — build the program and child engine,
+       reply ``("ready", index, table_size)``.  Everything heavyweight
+       travels through the task queue rather than the ``Process`` args,
+       because a large args pickle is written synchronously by
+       ``process.start()`` — the parent would block forever in ``start()``
+       if a worker died mid-unpickle.  The payload is pickled *once*,
+       eagerly, on the caller's thread, so an unpicklable factory fails
+       loudly instead of vanishing in the queue's feeder thread.
+    2. ``("attach", source_bytes, ring_layout)`` — map the shared packet
+       segment, seed the flow→slot table, and enter the serve loop: the
+       ring loop when ``ring_layout`` is given, otherwise the legacy
+       task-queue loop (``chunk``/``drain``/``snapshot``/``stop``).
+
+    After any failure the worker keeps consuming (and discarding) messages
+    until ``stop`` so the parent's bounded puts can never deadlock against a
+    wedged shard; the failure itself travels back as an
+    ``("error", index, trace)`` message.  While blocked on an empty ring the
+    worker polls for re-parenting and tears itself down if the parent is
+    gone (daemon cleanup never runs when the parent is SIGKILLed).
     """
+    import pickle
+
     from repro.serve.microbatch import MicroBatchEngine
     from repro.serve.streaming import StreamingEngine
 
+    parent_pid = os.getppid()
     shared = None
+    ring = None
     engine = None
     try:
         message = tasks.get()
         if message[0] != "bind":
             return  # torn down before binding (parent sent "stop")
-        import pickle
-
-        program_factory, layout, flows = pickle.loads(message[1])
-        shared = SharedPacketArrays.attach(layout)
-        soa = shared.arrays
+        program_factory = pickle.loads(message[1])
         program = program_factory()
         if program is None:
             raise ServeError("program_factory returned None")
@@ -143,6 +222,20 @@ def _worker_main(
             engine = MicroBatchEngine(program, **kwargs)
         engine.open()
         results.put(("ready", index, program.indexer.table_size))
+
+        message = tasks.get()
+        if message[0] != "attach":
+            return  # session closed without traffic
+        layout, meta, slots = pickle.loads(message[1])
+        shared = SharedPacketArrays.attach(layout)
+        soa = shared.arrays
+        # Flow *metadata* only crossed the boundary; packets come from the
+        # shared columns, materialised lazily (scalar/streaming paths only).
+        flows = flows_from_meta(meta, soa)
+        if hasattr(engine, "seed_slots"):
+            engine.seed_slots(slots)
+        if message[2] is not None:
+            ring = SpscRing.attach(message[2])
     except BaseException:
         results.put(("error", index, traceback.format_exc()))
         _consume_until_stop(tasks)
@@ -150,32 +243,68 @@ def _worker_main(
             shared.close()
         return
 
-    failed = False
+    def check_parent() -> None:
+        if os.getppid() != parent_pid:
+            raise _ParentLost
+
     reported: set = set()
-    while True:
-        message = tasks.get()
-        kind = message[0]
-        try:
-            if kind == "stop":
-                break
-            if failed:
-                if kind in ("drain", "snapshot"):
-                    results.put(("error", index, "worker already failed"))
-                continue
-            if kind == "seed":
-                if hasattr(engine, "seed_slots"):
-                    engine.seed_slots(message[1])
-            elif kind == "chunk":
-                engine.ingest(PacketChunk(soa=soa, flows=flows, positions=message[1]))
-            elif kind == "drain":
-                engine.drain()
-                results.put(("drained", index, _snapshot_payload(engine, program, reported)))
-            elif kind == "snapshot":
-                results.put(("snapshot", index, _snapshot_payload(engine, program, reported)))
-        except BaseException:
-            failed = True
-            results.put(("error", index, traceback.format_exc()))
+
+    def reply(kind: str) -> None:
+        sleep = _drain_sleep_for(index) if kind == "drained" else 0.0
+        if sleep > 0.0:
+            time.sleep(sleep)
+        results.put((kind, index, _snapshot_payload(engine, program, reported)))
+
+    failed = False
+    try:
+        if ring is not None:
+            while True:
+                kind, positions, _seq = ring.pop(poll=check_parent)
+                try:
+                    if kind == KIND_STOP:
+                        break
+                    if failed:
+                        if kind in (KIND_DRAIN, KIND_SNAPSHOT):
+                            results.put(("error", index, "worker already failed"))
+                        continue
+                    if kind == KIND_CHUNK:
+                        engine.ingest(PacketChunk(soa=soa, flows=flows, positions=positions))
+                    elif kind == KIND_DRAIN:
+                        engine.drain()
+                        reply("drained")
+                    elif kind == KIND_SNAPSHOT:
+                        reply("snapshot")
+                except BaseException:
+                    failed = True
+                    results.put(("error", index, traceback.format_exc()))
+        else:
+            while True:
+                message = tasks.get()
+                kind = message[0]
+                try:
+                    if kind == "stop":
+                        break
+                    if failed:
+                        if kind in ("drain", "snapshot"):
+                            results.put(("error", index, "worker already failed"))
+                        continue
+                    if kind == "chunk":
+                        engine.ingest(
+                            PacketChunk(soa=soa, flows=flows, positions=message[1])
+                        )
+                    elif kind == "drain":
+                        engine.drain()
+                        reply("drained")
+                    elif kind == "snapshot":
+                        reply("snapshot")
+                except BaseException:
+                    failed = True
+                    results.put(("error", index, traceback.format_exc()))
+    except _ParentLost:
+        pass  # orphaned: fall through to teardown
     del engine  # drop chunk/soa references so the shared mapping can unmap
+    if ring is not None:
+        ring.close()
     shared.close()
 
 
@@ -189,8 +318,14 @@ def _consume_until_stop(tasks) -> None:
             return
 
 
-def _release_resources(processes, queues, shared) -> None:
-    """GC/crash guard shared by ``weakref.finalize`` and ``_cleanup``."""
+def _release_resources(processes, queues, segments) -> None:
+    """GC/crash guard shared by ``weakref.finalize`` and ``_cleanup``.
+
+    ``segments`` is a mutable list the engine appends to as shared resources
+    come into existence (the packet segment at first ingest, one ring per
+    worker) — the finalizer is registered once, at pool start, and always
+    sees the live set.
+    """
     for process in processes:
         if process.is_alive():
             process.terminate()
@@ -205,9 +340,12 @@ def _release_resources(processes, queues, shared) -> None:
             q.cancel_join_thread()
         except Exception:
             pass
-    if shared is not None:
-        shared.unlink()
-        shared.close()
+    for segment in segments:
+        try:
+            segment.unlink()
+            segment.close()
+        except Exception:
+            pass
 
 
 class ProcessShardedEngine(InferenceEngine):
@@ -218,7 +356,12 @@ class ProcessShardedEngine(InferenceEngine):
     each shard runs in its own interpreter, so throughput scales with cores
     instead of saturating the GIL.  Packet columns are shared (one
     shared-memory segment, zero-copy worker views); only positions cross
-    the process boundary per chunk.
+    the process boundary per chunk — through a shared-memory SPSC ring per
+    worker by default, or the legacy bounded queue (``transport="queue"``).
+
+    ``open()`` pre-binds the pool: it blocks until every worker has built
+    its program (so a broken or unpicklable factory fails the ``open()``,
+    and the serving window that follows contains no warm-up).
 
     Args:
         program_factory: Zero-argument callable building a *fresh* program;
@@ -231,7 +374,18 @@ class ProcessShardedEngine(InferenceEngine):
             on macOS/Windows).
         child_engine: Engine each worker runs (``"microbatch"`` or
             ``"streaming"``).
-        queue_depth: Chunks a worker may buffer before ``ingest`` blocks.
+        transport: ``"ring"`` (shared-memory SPSC rings), ``"queue"`` (the
+            legacy ``multiprocessing.Queue``), or ``None`` — resolve from
+            ``SPLIDT_SERVE_TRANSPORT``, default ``"ring"``.
+        queue_depth: Chunks a worker may buffer before ``ingest`` blocks
+            (queue transport only; the ring transport's bound is
+            ``ring_slots``).
+        ring_slots: Slots per worker ring (ring transport).  A full ring is
+            this engine's backpressure: ``ingest`` blocks with backoff until
+            the worker frees a slot.
+        ring_span: Positions one ring slot can carry; larger per-shard
+            chunks are split across consecutive slots (semantically
+            invisible — the parity contract holds for any chunking).
         flush_flows: Eager-flush threshold of micro-batch children.
         backpressure: Buffered-packet limit of micro-batch children.
 
@@ -255,7 +409,10 @@ class ProcessShardedEngine(InferenceEngine):
         workers: int = 4,
         start_method: str | None = None,
         child_engine: str = "microbatch",
+        transport: str | None = None,
         queue_depth: int = 64,
+        ring_slots: int = DEFAULT_RING_SLOTS,
+        ring_span: int = DEFAULT_RING_SPAN,
         flush_flows: int | None = None,
         backpressure: int | None = None,
     ) -> None:
@@ -267,8 +424,22 @@ class ProcessShardedEngine(InferenceEngine):
                 f"unknown child engine {child_engine!r}; "
                 "expected 'microbatch' or 'streaming'"
             )
+        if transport not in TRANSPORTS:
+            raise ServeError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
+        resolved = _resolve_transport(transport)
+        if resolved not in ("queue", "ring"):
+            raise ServeError(
+                f"unknown transport {resolved!r} (from {TRANSPORT_ENV}); "
+                "expected 'queue' or 'ring'"
+            )
         if queue_depth < 1:
             raise ServeError(f"queue_depth must be >= 1, got {queue_depth}")
+        if ring_slots < 1:
+            raise ServeError(f"ring_slots must be >= 1, got {ring_slots}")
+        if ring_span < 1:
+            raise ServeError(f"ring_span must be >= 1, got {ring_span}")
         if start_method not in START_METHODS:
             raise ServeError(
                 f"unknown start method {start_method!r}; expected one of {START_METHODS}"
@@ -281,7 +452,10 @@ class ProcessShardedEngine(InferenceEngine):
         self.workers = workers
         self.start_method = start_method
         self.child_engine = child_engine
+        self.transport = resolved
         self.queue_depth = queue_depth
+        self.ring_slots = ring_slots
+        self.ring_span = ring_span
         self.flush_flows = flush_flows
         self.child_backpressure = backpressure
 
@@ -290,13 +464,18 @@ class ProcessShardedEngine(InferenceEngine):
         self._task_queues: list = []
         self._results = None
         self._shared: SharedPacketArrays | None = None
+        self._rings: list[SpscRing] = []
+        #: Everything unlink-able, in creation order (finalizer sees appends).
+        self._segments: list = []
         self._shard_of_flow: np.ndarray | None = None
         self._table_size: int | None = None
         self._merged_verdicts: dict = {}
         self._aggregates: dict[int, tuple | None] = {}
         self._buffered: dict[int, int] = {}
-        #: Responses consumed outside their _collect round (see _check_failures).
-        self._stray: dict[str, set[int]] = {"snapshot": set(), "drained": set()}
+        #: Responses consumed outside their _collect round (see _check_failures),
+        #: buffered per shard so _collect can absorb in worker-index order.
+        self._stray: dict[str, dict[int, dict]] = {"snapshot": {}, "drained": {}}
+        self._transport_counters: dict[str, float] = {}
         self._final = False
         self._cleaned = False
         self._finalizer = None
@@ -310,15 +489,15 @@ class ProcessShardedEngine(InferenceEngine):
         # lists fork as available but made spawn its default because forking
         # a process that touched the system frameworks is unsafe there.
         self._ctx = multiprocessing.get_context(self.start_method)
+        self._start_pool()
 
-    def _start_workers(self) -> None:
-        """First-chunk setup: share the source, fork/spawn and seed workers.
+    def _start_pool(self) -> None:
+        """Pre-bind the pool: fork/spawn workers and build their programs.
 
-        Blocks until every worker has built its program and attached the
-        shared segment (so a broken factory fails the ``ingest`` that
-        triggered the start, not some later call).
+        Blocks until every worker has reported ready with its program's
+        register table size, so a broken factory fails the ``open()`` that
+        triggered the start and the serving window contains no warm-up.
         """
-        self._shared = SharedPacketArrays.create(self._soa)
         self._results = self._ctx.Queue()
         for index in range(self.workers):
             tasks = self._ctx.Queue(maxsize=self.queue_depth)
@@ -339,7 +518,7 @@ class ProcessShardedEngine(InferenceEngine):
             self._processes.append(process)
         self._finalizer = weakref.finalize(
             self, _release_resources, self._processes,
-            [*self._task_queues, self._results], self._shared,
+            [*self._task_queues, self._results], self._segments,
         )
         for process in self._processes:
             process.start()
@@ -349,10 +528,7 @@ class ProcessShardedEngine(InferenceEngine):
         import pickle
 
         try:
-            payload = pickle.dumps(
-                (self.program_factory, self._shared.layout, self._flows),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
+            payload = pickle.dumps(self.program_factory, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             self._fail(
                 "program_factory (and everything it references) must be "
@@ -363,9 +539,8 @@ class ProcessShardedEngine(InferenceEngine):
             self._put(shard, ("bind", payload))
 
         table_sizes: dict[int, int] = {}
-        deadline = _READY_TIMEOUT
         while len(table_sizes) < self.workers:
-            message = self._next_result(timeout=deadline, waiting_for="worker startup")
+            message = self._next_result(timeout=_READY_TIMEOUT, waiting_for="worker startup")
             if message[0] == "ready":
                 table_sizes[message[1]] = message[2]
             elif message[0] == "error":
@@ -375,17 +550,40 @@ class ProcessShardedEngine(InferenceEngine):
                 "all shard programs must share one register table size "
                 f"(got {sorted(set(table_sizes.values()))})"
             )
+        self._table_size = next(iter(table_sizes.values()))
+
+    def _attach_source(self) -> None:
+        """First-chunk setup: share the packet source and hand out transports.
+
+        The pool is already warm (programs built at ``open()``); this only
+        copies the SoA columns into shared memory, creates the per-worker
+        rings, and ships the attach payload — pickled once, shared by every
+        worker (the tiny per-worker ring layout rides alongside).
+        """
+        import pickle
+
         from repro.switch.hashing import flow_slots
 
-        self._table_size = next(iter(table_sizes.values()))
+        self._shared = SharedPacketArrays.create(self._soa)
+        self._segments.append(self._shared)
         slots = flow_slots(self._flows, self._table_size)
         self._shard_of_flow = (slots % self.workers).astype(np.intp)
+        if self.transport == "ring":
+            for _ in range(self.workers):
+                ring = SpscRing.create(slots=self.ring_slots, span=self.ring_span)
+                self._rings.append(ring)
+                self._segments.append(ring)
+        payload = pickle.dumps(
+            (self._shared.layout, flow_meta(self._flows), slots),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
         for shard in range(self.workers):
-            self._put(shard, ("seed", slots))
+            layout = self._rings[shard].layout if self._rings else None
+            self._put(shard, ("attach", payload, layout))
 
     def _ingest(self, chunk: PacketChunk) -> None:
         if self._shard_of_flow is None:
-            self._start_workers()
+            self._attach_source()
         self._check_failures()
         positions = chunk.positions
         if positions.size == 0:
@@ -394,7 +592,28 @@ class ProcessShardedEngine(InferenceEngine):
         for shard in range(self.workers):
             sub = positions[shard_of_packet == shard]
             if sub.size:
-                self._put(shard, ("chunk", sub))
+                self._send_chunk(shard, sub)
+
+    def _send_chunk(self, shard: int, positions: np.ndarray) -> None:
+        if not self._rings:
+            self._put(shard, ("chunk", positions))
+            return
+        ring = self._rings[shard]
+        # Spans wider than one slot are split; the child engines are
+        # chunking-agnostic (the parity suite runs every chunk size).
+        for offset in range(0, positions.size, ring.span):
+            ring.push(
+                KIND_CHUNK,
+                positions[offset:offset + ring.span],
+                poll=self._check_failures,
+            )
+
+    def _signal(self, shard: int, kind: int, message: tuple) -> None:
+        """Send one control message over the shard's active transport."""
+        if self._rings:
+            self._rings[shard].push(kind, poll=self._check_failures)
+        else:
+            self._put(shard, message)
 
     def _drain(self) -> None:
         if self._shard_of_flow is None:
@@ -402,7 +621,7 @@ class ProcessShardedEngine(InferenceEngine):
             return
         self._check_failures()
         for shard in range(self.workers):
-            self._put(shard, ("drain",))
+            self._signal(shard, KIND_DRAIN, ("drain",))
         self._collect("drained")
         self._final = True
 
@@ -419,12 +638,12 @@ class ProcessShardedEngine(InferenceEngine):
     # Worker plumbing
     # ------------------------------------------------------------------
     def _put(self, shard: int, message) -> None:
-        """Enqueue one message with real flow control and liveness checks.
+        """Enqueue one task-queue message with flow control and liveness checks.
 
         Blocks while the shard's bounded queue is full (that *is* the
-        backpressure of this engine) but never deadlocks against a dead
-        worker: each poll re-checks the process and fails the session if it
-        exited.
+        backpressure of the queue transport) but never deadlocks against a
+        dead worker: each poll re-checks the process and fails the session
+        if it exited.
         """
         tasks = self._task_queues[shard]
         while True:
@@ -447,21 +666,25 @@ class ProcessShardedEngine(InferenceEngine):
                     self._fail(f"timed out after {timeout:.0f}s waiting for {waiting_for}")
 
     def _collect(self, kind: str) -> None:
-        """Gather one ``kind`` response per worker, folding in its payload.
+        """Gather one ``kind`` response per worker, then fold them in order.
 
-        Responses that were already drained off the queue by
-        :meth:`_check_failures` (while a ``_put`` was blocked on a full
-        queue) count via the stray set, so nothing is waited for twice.
+        Payloads are buffered until every worker has replied and absorbed in
+        **worker index order** — never arrival order — so the merged verdict
+        stream is bit-identical across runs regardless of which worker
+        finishes last.  Responses already drained off the queue by
+        :meth:`_check_failures` (while a blocking send waited) count via the
+        stray buffer, so nothing is waited for twice.
         """
-        pending = set(range(self.workers)) - self._stray[kind]
-        self._stray[kind].clear()
-        while pending:
+        payloads = self._stray[kind]
+        self._stray[kind] = {}
+        while len(payloads) < self.workers:
             message = self._next_result(timeout=_READY_TIMEOUT, waiting_for=f"{kind} responses")
             if message[0] == "error":
                 self._fail(f"worker {message[1]} failed:\n{message[2]}")
             if message[0] == kind:
-                pending.discard(message[1])
-                self._absorb(message[1], message[2])
+                payloads[message[1]] = message[2]
+        for shard in sorted(payloads):
+            self._absorb(shard, payloads[shard])
 
     def _absorb(self, shard: int, payload: dict) -> None:
         self._merged_verdicts.update(payload["verdicts"])
@@ -488,8 +711,7 @@ class ProcessShardedEngine(InferenceEngine):
             if message[0] == "error":
                 self._fail(f"worker {message[1]} failed:\n{message[2]}")
             if message[0] in ("snapshot", "drained"):
-                self._stray[message[0]].add(message[1])
-                self._absorb(message[1], message[2])
+                self._stray[message[0]][message[1]] = message[2]
         self._check_liveness()
 
     def _fail(self, reason: str) -> None:
@@ -497,23 +719,35 @@ class ProcessShardedEngine(InferenceEngine):
         raise ServeError(reason)
 
     def _cleanup(self) -> None:
-        """Stop workers, release queues, unlink the shared segment (idempotent)."""
+        """Stop workers, release queues, unlink shared segments (idempotent)."""
         if self._cleaned:
             return
         self._cleaned = True
-        for process, tasks in zip(self._processes, self._task_queues):
+        self._capture_transport_counters()
+        for shard, (process, tasks) in enumerate(zip(self._processes, self._task_queues)):
+            # A worker may be waiting in either phase: pre-attach on the task
+            # queue, post-attach on its ring.  Send stop over both,
+            # best-effort; a wedged/full path falls back to terminate.
+            delivered = False
             try:
                 tasks.put_nowait(("stop",))
+                delivered = True
             except Exception:
-                # Bounded queue full (the backpressure failure path): the
-                # stop can never be delivered, so don't stall a join on it.
+                pass
+            if shard < len(self._rings):
+                try:
+                    self._rings[shard].push(KIND_STOP, timeout=_STOP_TIMEOUT)
+                    delivered = True
+                except Exception:  # RingFullError et al: worker likely gone
+                    pass
+            if not delivered:
                 process.terminate()
         for process in self._processes:
             process.join(timeout=5.0)
         all_queues = list(self._task_queues)
         if self._results is not None:
             all_queues.append(self._results)
-        _release_resources(self._processes, all_queues, self._shared)
+        _release_resources(self._processes, all_queues, self._segments)
         if self._finalizer is not None:
             self._finalizer.detach()
 
@@ -532,7 +766,7 @@ class ProcessShardedEngine(InferenceEngine):
             return dict(self._merged_verdicts)
         self._check_failures()
         for shard in range(self.workers):
-            self._put(shard, ("snapshot",))
+            self._signal(shard, KIND_SNAPSHOT, ("snapshot",))
         self._collect("snapshot")
         return dict(self._merged_verdicts)
 
@@ -550,13 +784,42 @@ class ProcessShardedEngine(InferenceEngine):
     def _engine_channel_aggregates(self) -> list:
         return [self._aggregates.get(shard) for shard in range(self.workers)]
 
+    def _capture_transport_counters(self) -> None:
+        """Freeze the ring counters before the segments are unlinked."""
+        if self._rings and not any(ring.closed for ring in self._rings):
+            self._transport_counters = {
+                "ring_slots": float(self.ring_slots),
+                "ring_occupancy": float(sum(r.occupancy() for r in self._rings)),
+                "ring_producer_stalls": float(
+                    sum(r.producer_stalls() for r in self._rings)
+                ),
+                "ring_consumer_stalls": float(
+                    sum(r.consumer_stalls() for r in self._rings)
+                ),
+            }
+
+    def _transport_stats(self) -> dict[str, float]:
+        """Ring occupancy/stall counters (empty for the queue transport).
+
+        Occupancy is the live sum of buffered messages across worker rings;
+        the stall counters count *episodes* (a blocked push/pop counts once,
+        however long it waited).  After ``close()`` the last observed values
+        are returned, so a post-mortem ``stats()`` still sees the totals.
+        """
+        if not self._cleaned:
+            self._capture_transport_counters()
+        return dict(self._transport_counters)
+
     def _successor_engine(self, program_factory) -> "ProcessShardedEngine":
         return ProcessShardedEngine(
             program_factory,
             workers=self.workers,
             start_method=self.start_method,
             child_engine=self.child_engine,
+            transport=self.transport,
             queue_depth=self.queue_depth,
+            ring_slots=self.ring_slots,
+            ring_span=self.ring_span,
             flush_flows=self.flush_flows,
             backpressure=self.child_backpressure,
         )

@@ -43,7 +43,7 @@ def test_smoke_snippets_present():
     for entry in check_docs.SNIPPET_FILES:
         snippets = check_docs._smoke_snippets(REPO_ROOT / entry)
         assert snippets, f"{entry} lost its {check_docs.SMOKE_MARKER} snippets"
-        assert all(commands for commands in snippets)
+        assert all(commands for _language, commands in snippets)
 
 
 def test_readme_links_docs_index():

@@ -147,7 +147,8 @@ class TestServeConfig:
         payload = json.loads(json.dumps(spec.to_dict()))
         assert payload["serve"] == {
             "engine": "sharded", "shards": 4, "workers": 4,
-            "spawn_method": None, "chunk_size": 128, "backpressure": 4096,
+            "spawn_method": None, "transport": None, "ring_slots": 64,
+            "chunk_size": 128, "backpressure": 4096,
             "online": {
                 "enabled": False, "detector": "page-hinkley", "window": 64,
                 "ph_delta": 0.15, "ph_threshold": 5.0,
@@ -179,6 +180,22 @@ class TestServeConfig:
             ExperimentSpec(serve=ServeConfig(engine="sharded-mp", workers=0)).validate()
         with pytest.raises(SpecError, match="spawn_method"):
             ExperimentSpec(serve=ServeConfig(spawn_method="warp")).validate()
+        with pytest.raises(SpecError, match="transport"):
+            ExperimentSpec(serve=ServeConfig(transport="warp")).validate()
+        with pytest.raises(SpecError, match="ring_slots"):
+            ExperimentSpec(serve=ServeConfig(ring_slots=0)).validate()
+
+    def test_serve_transport_roundtrip(self):
+        import json
+
+        spec = ExperimentSpec(
+            serve=ServeConfig(engine="sharded-mp", transport="ring", ring_slots=8)
+        ).validate()
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert payload["serve"]["transport"] == "ring"
+        assert payload["serve"]["ring_slots"] == 8
+        restored = ExperimentSpec.from_dict(payload)
+        assert restored == spec and restored.serve.transport == "ring"
 
     def test_serve_dict_coerced_at_construction(self):
         spec = ExperimentSpec(serve={"engine": "streaming", "chunk_size": 32})

@@ -20,6 +20,7 @@ import pytest
 
 from repro.dataplane import SpliDTDataPlane, replay_dataset
 from repro.datasets.shm import SEGMENT_PREFIX
+from repro.serve.ring import RING_PREFIX
 from repro.datasets.streams import iter_packet_chunks
 from repro.serve import ProcessShardedEngine, ServeError, StreamingEngine, create_engine
 from test_serve_engines import _assert_identical, _chunks, _stream
@@ -39,7 +40,11 @@ class ProgramFactory:
 
 def _leaked_segments() -> list[str]:
     try:
-        return [n for n in os.listdir("/dev/shm") if n.startswith(SEGMENT_PREFIX)]
+        return [
+            n
+            for n in os.listdir("/dev/shm")
+            if n.startswith(SEGMENT_PREFIX) or n.startswith(RING_PREFIX)
+        ]
     except FileNotFoundError:  # non-POSIX-shm platform: nothing to check
         return []
 
@@ -183,10 +188,11 @@ class TestLifecycleAndTeardown:
     def test_empty_session(self, splidt_model, splidt_rules):
         engine = ProcessShardedEngine(
             ProgramFactory(splidt_model, splidt_rules, 8192), workers=2
-        ).open()
-        result = engine.close()  # no ingest: no workers ever started
+        ).open()  # pre-binds the pool even before any traffic
+        result = engine.close()  # no ingest: workers stop without attaching
         assert result.verdicts == {}
-        assert engine._processes == []
+        assert all(p.exitcode == 0 for p in engine._processes)
+        assert not _leaked_segments()
 
     def test_constructor_validation(self, splidt_model, splidt_rules):
         factory = ProgramFactory(splidt_model, splidt_rules, 256)
@@ -201,13 +207,14 @@ class TestLifecycleAndTeardown:
         self, splidt_model, splidt_rules, small_dataset
     ):
         # Lambdas fail pickling on the caller's thread with a pointer to
-        # ProgramFactory — never silently in the queue feeder thread.
+        # ProgramFactory — at open() (pre-bind), never silently in the
+        # queue feeder thread.
         engine = ProcessShardedEngine(
             lambda: SpliDTDataPlane(splidt_model, splidt_rules, flow_slots=8192),
             workers=2,
-        ).open()
+        )
         with pytest.raises(ServeError, match="picklable"):
-            engine.ingest(next(iter_packet_chunks(small_dataset.flows, 64)))
+            engine.open()
         assert engine._cleaned
         assert not _leaked_segments()
 

@@ -10,7 +10,8 @@ Stdlib-only so CI (and `tests/test_docs.py`) can run it anywhere:
   ``<!-- docs-smoke -->`` comment is executed line by line with the
   repository's ``src/`` on ``PYTHONPATH``, so the quickstart commands in the
   docs cannot rot.  Backslash continuations are joined; ``#`` comments are
-  ignored.
+  ignored.  A marked ```` ```python ```` fence is executed as one program
+  via ``python -c`` instead, so API examples stay runnable too.
 
 Exit code 0 when everything passes; 1 with a report otherwise.
 """
@@ -63,32 +64,42 @@ def check_links() -> list[str]:
     return problems
 
 
-def _smoke_snippets(path: Path) -> list[list[str]]:
-    """The marked bash blocks of ``path``, as lists of joined command lines."""
+def _smoke_snippets(path: Path) -> list[tuple[str, list[str]]]:
+    """The marked blocks of ``path`` as ``(language, commands)`` pairs.
+
+    Bash blocks become lists of joined command lines; python blocks become a
+    single-element list holding the whole program source.
+    """
     lines = path.read_text().splitlines()
-    snippets: list[list[str]] = []
+    snippets: list[tuple[str, list[str]]] = []
     index = 0
     while index < len(lines):
         if lines[index].strip() == SMOKE_MARKER:
             fence = index + 1
             if fence < len(lines) and lines[fence].strip().startswith("```"):
+                language = lines[fence].strip().lstrip("`").strip() or "bash"
                 block: list[str] = []
                 cursor = fence + 1
                 while cursor < len(lines) and not lines[cursor].strip().startswith("```"):
                     block.append(lines[cursor])
                     cursor += 1
-                commands: list[str] = []
-                pending = ""
-                for raw in block:
-                    line = pending + raw.strip()
-                    if line.endswith("\\"):
-                        pending = line[:-1] + " "
-                        continue
+                if language == "python":
+                    source = "\n".join(block).strip()
+                    if source:
+                        snippets.append((language, [source]))
+                else:
+                    commands: list[str] = []
                     pending = ""
-                    if line and not line.startswith("#"):
-                        commands.append(line)
-                if commands:
-                    snippets.append(commands)
+                    for raw in block:
+                        line = pending + raw.strip()
+                        if line.endswith("\\"):
+                            pending = line[:-1] + " "
+                            continue
+                        pending = ""
+                        if line and not line.startswith("#"):
+                            commands.append(line)
+                    if commands:
+                        snippets.append((language, commands))
                 index = cursor
         index += 1
     return snippets
@@ -109,13 +120,19 @@ def run_snippets() -> list[str]:
             problems.append(f"{entry}: no {SMOKE_MARKER} snippets found "
                             "(the docs-smoke coverage regressed)")
             continue
-        for commands in snippets:
+        for language, commands in snippets:
             for command in commands:
                 total += 1
-                print(f"[docs-smoke] {entry}: {command}", flush=True)
+                if language == "python":
+                    label = command.splitlines()[0] + " ..."
+                    argv = [sys.executable, "-c", command]
+                else:
+                    label = command
+                    argv = shlex.split(command)
+                print(f"[docs-smoke] {entry}: {label}", flush=True)
                 try:
                     result = subprocess.run(
-                        shlex.split(command),
+                        argv,
                         cwd=REPO_ROOT,
                         env=env,
                         capture_output=True,
@@ -123,11 +140,11 @@ def run_snippets() -> list[str]:
                         timeout=600,
                     )
                 except subprocess.TimeoutExpired:
-                    problems.append(f"{entry}: `{command}` timed out after 600s")
+                    problems.append(f"{entry}: `{label}` timed out after 600s")
                     continue
                 if result.returncode != 0:
                     problems.append(
-                        f"{entry}: `{command}` exited {result.returncode}\n"
+                        f"{entry}: `{label}` exited {result.returncode}\n"
                         f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
                     )
     print(f"[docs-smoke] ran {total} command(s)")
