@@ -119,6 +119,29 @@ class BayesianOptimizer:
             Observation(config=dict(config), objectives=np.array([float(objective)]), feasible=feasible)
         )
 
+    def tell_many(self, configs, objectives, feasibility=None) -> None:
+        """Record a batch of evaluations, strictly in the order given.
+
+        Equivalent to calling :meth:`tell` once per element; exists so batch
+        evaluators (the parallel DSE pool) state their ordering contract in
+        one place — observations enter the history in *proposal* order, which
+        keeps subsequent ``ask`` calls bit-identical to a serial loop no
+        matter which evaluation finished first.
+        """
+        configs = list(configs)
+        objectives = list(objectives)
+        if feasibility is None:
+            feasibility = [True] * len(configs)
+        else:
+            feasibility = list(feasibility)
+        if not (len(configs) == len(objectives) == len(feasibility)):
+            raise ValueError(
+                f"mismatched batch lengths: {len(configs)} configs, "
+                f"{len(objectives)} objectives, {len(feasibility)} feasibility flags"
+            )
+        for config, objective, feasible in zip(configs, objectives, feasibility):
+            self.tell(config, objective, feasible)
+
     def best(self) -> Observation | None:
         """Best feasible observation so far."""
         feasible = [o for o in self.history.observations if o.feasible]

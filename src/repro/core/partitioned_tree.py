@@ -175,8 +175,56 @@ class PartitionedDecisionTree:
             )
         n_flows = window_features.shape[1]
         predictions = np.full(n_flows, self.default_label, dtype=np.intp)
-        for flow_index in range(n_flows):
-            predictions[flow_index] = self._predict_single(window_features[:, flow_index, :])
+        if n_flows == 0:
+            return predictions
+
+        # Batched traversal: instead of walking the subtree chain one flow at
+        # a time, keep the set of still-active flows grouped by the subtree
+        # they sit in and run each subtree's ``apply`` on all of its flows at
+        # once.  Flows that hit an exit leaf (or a missing subtree/outcome,
+        # which fall back to the default label exactly like the per-flow
+        # walk) drop out; the rest carry their next SID into the next round.
+        rows = np.arange(n_flows, dtype=np.intp)
+        sids = np.full(n_flows, self.root_sid, dtype=np.intp)
+        for _ in range(self.n_partitions):
+            if rows.size == 0:
+                break
+            next_rows: list[np.ndarray] = []
+            next_sids: list[np.ndarray] = []
+            order = np.argsort(sids, kind="stable")
+            sorted_sids = sids[order]
+            boundaries = np.flatnonzero(
+                np.r_[True, sorted_sids[1:] != sorted_sids[:-1], True]
+            )
+            for start, stop in zip(boundaries[:-1], boundaries[1:]):
+                sid = int(sorted_sids[start])
+                group_rows = rows[order[start:stop]]
+                subtree = self.subtrees.get(sid)
+                if subtree is None:
+                    continue  # stays default_label
+                leaf_ids = subtree.tree.apply(
+                    window_features[subtree.partition, group_rows, :]
+                )
+                for leaf in np.unique(leaf_ids):
+                    outcome = subtree.outcomes.get(int(leaf))
+                    members = group_rows[leaf_ids == leaf]
+                    if outcome is None:
+                        continue  # stays default_label
+                    if outcome.kind == OUTCOME_EXIT:
+                        predictions[members] = int(outcome.label)
+                    else:
+                        next_rows.append(members)
+                        next_sids.append(
+                            np.full(members.size, int(outcome.next_sid), dtype=np.intp)
+                        )
+            if next_rows:
+                rows = np.concatenate(next_rows)
+                sids = np.concatenate(next_sids)
+            else:
+                rows = np.empty(0, dtype=np.intp)
+                sids = rows
+        # Flows still active after the final round never exited; they keep
+        # the default label, matching the per-flow fallback.
         return predictions
 
     def _predict_single(self, windows: np.ndarray) -> int:

@@ -613,9 +613,10 @@ def stacked_training_matrix(windowed, n_partitions: int | None = None, split: st
 
 def generate_rules(
     model: PartitionedDecisionTree,
-    training_matrix: np.ndarray,
+    training_matrix: np.ndarray | None = None,
     *,
     bit_width: int | None = None,
+    quantizer: FeatureQuantizer | None = None,
 ) -> RuleSet:
     """Compile a partitioned model into its full TCAM rule set.
 
@@ -623,10 +624,21 @@ def generate_rules(
         model: The trained partitioned decision tree.
         training_matrix: A feature matrix used to fit the quantiser scales
             (typically the whole-flow or stacked window training matrix).
+            May be omitted when a fitted ``quantizer`` is supplied.
         bit_width: Feature precision; defaults to the model configuration's.
+        quantizer: A pre-fitted :class:`FeatureQuantizer` to reuse instead of
+            fitting one on ``training_matrix``.  The DSE's evaluation context
+            caches the fit per ``(n_partitions, bit_width)`` — the scales only
+            depend on the dataset, not the candidate — so repeated candidates
+            skip the fit entirely.  Must have been fitted at
+            ``min(bit_width, 32)`` bits on the same matrix the direct path
+            would use, or the compiled rules will differ.
     """
     width = bit_width if bit_width is not None else model.config.bit_width
-    quantizer = FeatureQuantizer(bit_width=min(width, 32)).fit(training_matrix)
+    if quantizer is None:
+        if training_matrix is None:
+            raise ValueError("either training_matrix or quantizer is required")
+        quantizer = FeatureQuantizer(bit_width=min(width, 32)).fit(training_matrix)
     subtree_rules = {
         sid: generate_subtree_rules(subtree, quantizer)
         for sid, subtree in model.subtrees.items()

@@ -70,19 +70,49 @@ def mse_impurity(y: np.ndarray) -> float:
 def _batch_impurity(counts: np.ndarray, criterion: str) -> np.ndarray:
     """Row-wise impurity of an ``(n_cuts, n_classes)`` class-count matrix.
 
-    Rows with a zero total contribute impurity 0 (their proportions are
-    nan-to-num'd away), matching the scalar :func:`node_impurity` convention.
+    Rows with a zero total contribute impurity 0, matching the scalar
+    :func:`node_impurity` convention.  The zero rows are handled by dividing
+    by 1 instead of 0 — their counts are all zero, so the proportions come
+    out exactly 0.0 without the ``nan_to_num`` pass the old implementation
+    paid on every candidate cut (it dominated split-search profiles).
     """
     totals = counts.sum(axis=1)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        props = counts / totals[:, None]
-    props = np.nan_to_num(props)
+    safe_totals = np.where(totals > 0.0, totals, 1.0)
+    props = counts / safe_totals[:, None]
     if criterion == "gini":
         return 1.0 - np.sum(props**2, axis=1)
     if criterion == "entropy":
         safe = np.where(props > 0, props, 1.0)
         return -np.sum(props * np.log2(safe), axis=1)
     raise ValueError(f"unknown criterion: {criterion!r}")
+
+
+def _one_hot_labels(y: np.ndarray, n_classes: int) -> np.ndarray:
+    """One-hot float matrix of an integer label vector."""
+    one_hot = np.zeros((y.shape[0], n_classes), dtype=float)
+    one_hot[np.arange(y.shape[0]), y] = 1.0
+    return one_hot
+
+
+def _split_scores_from_one_hot(sorted_one_hot: np.ndarray, criterion: str) -> np.ndarray:
+    """Impurity-sum for every prefix cut of a feature-sorted one-hot matrix.
+
+    ``sorted_one_hot`` is the node's one-hot label matrix reordered by the
+    candidate feature; building the one-hot once per node and gathering it
+    per feature is cheaper than reconstructing it from the sorted labels for
+    every feature (the split search visits every feature of every node).
+    """
+    left_counts = np.cumsum(sorted_one_hot, axis=0)[:-1]
+    total_counts = left_counts[-1] + sorted_one_hot[-1]
+    right_counts = total_counts - left_counts
+
+    left_totals = left_counts.sum(axis=1)
+    right_totals = right_counts.sum(axis=1)
+
+    left_impurity = _batch_impurity(left_counts, criterion)
+    right_impurity = _batch_impurity(right_counts, criterion)
+
+    return left_totals * left_impurity + right_totals * right_impurity
 
 
 def _classification_split_scores(
@@ -94,20 +124,7 @@ def _classification_split_scores(
     ``scores[i]`` is the weighted (by count) impurity of splitting the sorted
     samples into ``[:i + 1]`` and ``[i + 1:]``.
     """
-    n = sorted_y.shape[0]
-    one_hot = np.zeros((n, n_classes), dtype=float)
-    one_hot[np.arange(n), sorted_y] = 1.0
-    left_counts = np.cumsum(one_hot, axis=0)[:-1]
-    total_counts = left_counts[-1] + one_hot[-1]
-    right_counts = total_counts - left_counts
-
-    left_totals = left_counts.sum(axis=1)
-    right_totals = right_counts.sum(axis=1)
-
-    left_impurity = _batch_impurity(left_counts, criterion)
-    right_impurity = _batch_impurity(right_counts, criterion)
-
-    return left_totals * left_impurity + right_totals * right_impurity
+    return _split_scores_from_one_hot(_one_hot_labels(sorted_y, n_classes), criterion)
 
 
 def split_gains_from_counts(
@@ -169,11 +186,14 @@ def find_best_split(
     n_classes: int | None,
     rng: np.random.Generator,
     max_features: int | None = None,
+    indices: np.ndarray | None = None,
 ) -> Split | None:
     """Search ``allowed_features`` for the split with maximal impurity decrease.
 
     Args:
-        X: Node sample matrix ``(n_samples, n_features)``.
+        X: Node sample matrix ``(n_samples, n_features)`` — or, when
+            ``indices`` is given, the *full* training matrix the node rows
+            are gathered from.
         y: Node labels (classification, int) or targets (regression, float).
         allowed_features: Feature indices the splitter may consider.
         criterion: ``"gini"``, ``"entropy"`` or ``"mse"``.
@@ -182,11 +202,16 @@ def find_best_split(
         rng: Random generator used for feature sub-sampling and tie breaks.
         max_features: If given, a random subset of this many features from
             ``allowed_features`` is searched (used by random forests).
+        indices: Row indices of the node's samples within ``X``.  Passing
+            the full matrix plus indices gathers only the candidate feature
+            columns instead of copying every column of every node — the tree
+            grower's dominant allocation once the feature budget narrows the
+            pool.
 
     Returns:
         The best :class:`Split`, or ``None`` when no valid split exists.
     """
-    n_samples = X.shape[0]
+    n_samples = y.shape[0] if indices is not None else X.shape[0]
     if n_samples < 2 * min_samples_leaf:
         return None
 
@@ -198,33 +223,36 @@ def find_best_split(
     if is_classification:
         parent_counts = np.bincount(y, minlength=n_classes).astype(float)
         parent_score = n_samples * node_impurity(parent_counts, criterion)
+        one_hot = _one_hot_labels(y, n_classes)
     else:
         parent_score = n_samples * mse_impurity(y)
+        one_hot = None
+
+    # A cut at position i separates sorted samples [:i+1] from [i+1:]; both
+    # sides must satisfy min_samples_leaf regardless of the feature values.
+    positions = np.arange(1, n_samples)
+    base_valid = (positions >= min_samples_leaf) & ((n_samples - positions) >= min_samples_leaf)
+    if not np.any(base_valid):
+        return None
 
     best: Split | None = None
     best_score = np.inf
 
     for feature in features:
-        column = X[:, feature]
+        column = X[indices, feature] if indices is not None else X[:, feature]
         order = np.argsort(column, kind="stable")
         sorted_x = column[order]
-        sorted_y = y[order]
 
         if sorted_x[0] == sorted_x[-1]:
             continue  # constant feature at this node
 
         if is_classification:
-            scores = _classification_split_scores(sorted_y, n_classes, criterion)
+            scores = _split_scores_from_one_hot(one_hot[order], criterion)
         else:
-            scores = _regression_split_scores(sorted_y)
+            scores = _regression_split_scores(y[order])
 
-        # A cut at position i separates sorted samples [:i+1] from [i+1:].
-        # Only cuts between distinct feature values are valid thresholds, and
-        # both sides must satisfy min_samples_leaf.
-        positions = np.arange(1, n_samples)
-        valid = sorted_x[:-1] != sorted_x[1:]
-        valid &= positions >= min_samples_leaf
-        valid &= (n_samples - positions) >= min_samples_leaf
+        # Only cuts between distinct feature values are valid thresholds.
+        valid = (sorted_x[:-1] != sorted_x[1:]) & base_valid
         if not np.any(valid):
             continue
 

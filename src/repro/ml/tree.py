@@ -92,6 +92,10 @@ class _BaseDecisionTree:
     def _node_impurity(self, y: np.ndarray) -> float:
         raise NotImplementedError
 
+    def _node_stats(self, y: np.ndarray) -> tuple[np.ndarray, float]:
+        """Node value and impurity; overridable to share sufficient stats."""
+        return self._node_value(y), self._node_impurity(y)
+
     def _fit_common(self, X: np.ndarray, y: np.ndarray) -> None:
         self.n_features_in_ = X.shape[1]
         rng = np.random.default_rng(self.random_state)
@@ -100,6 +104,9 @@ class _BaseDecisionTree:
             n_features=self.n_features_in_,
             n_outputs=self._n_outputs(),
         )
+        # The allowed pool is fixed for the whole fit; resolving it once
+        # avoids a sort + range check at every node.
+        self._feature_pool = self._allowed_feature_pool()
         all_indices = np.arange(X.shape[0], dtype=np.intp)
         self._grow(context, all_indices, depth=0)
 
@@ -116,8 +123,7 @@ class _BaseDecisionTree:
 
     def _grow(self, context: _GrowContext, indices: np.ndarray, depth: int) -> int:
         y_node = context.y[indices]
-        value = self._node_value(y_node)
-        impurity = self._node_impurity(y_node)
+        value, impurity = self._node_stats(y_node)
         node_id = self.tree_.add_node(
             feature=LEAF,
             threshold=0.0,
@@ -130,7 +136,7 @@ class _BaseDecisionTree:
         if self._should_stop(y_node, depth, impurity):
             return node_id
 
-        pool = self._allowed_feature_pool()
+        pool = self._feature_pool
         budget = self.max_distinct_features
         if budget is not None and len(context.used_features) >= budget:
             pool = np.asarray(sorted(context.used_features), dtype=np.intp)
@@ -138,7 +144,7 @@ class _BaseDecisionTree:
             return node_id
 
         split = find_best_split(
-            context.X[indices],
+            context.X,
             y_node,
             allowed_features=pool,
             criterion=self._split_criterion(),
@@ -146,6 +152,7 @@ class _BaseDecisionTree:
             n_classes=self._n_classes_for_split(),
             rng=context.rng,
             max_features=self.max_features,
+            indices=indices,
         )
         if split is None:
             return node_id
@@ -249,6 +256,10 @@ class DecisionTreeClassifier(_BaseDecisionTree):
     def _node_impurity(self, y: np.ndarray) -> float:
         counts = np.bincount(y, minlength=self.n_classes_).astype(float)
         return node_impurity(counts, self.criterion)
+
+    def _node_stats(self, y: np.ndarray) -> tuple[np.ndarray, float]:
+        counts = np.bincount(y, minlength=self.n_classes_).astype(float)
+        return counts, node_impurity(counts, self.criterion)
 
     def _split_criterion(self) -> str:
         return self.criterion

@@ -39,6 +39,7 @@ from repro.pipeline.experiment import (
 from repro.pipeline.spec import (
     REPLAY_ENGINE_ENV,
     ExperimentSpec,
+    DseConfig,
     ServeConfig,
     SpecError,
     default_replay_engine,
@@ -69,6 +70,7 @@ __all__ = [
     "SCENARIOS",
     "STAGES",
     "SYSTEMS",
+    "DseConfig",
     "ServeConfig",
     "SpecError",
     "System",

@@ -17,6 +17,11 @@ Subcommands:
   system and replays one hostile workload against it (optionally asserting
   the catalog's degradation bounds — the CI smoke), ``scenario sweep``
   replays it across an occupancy sweep of the register file.
+* ``dse`` — the paper's design-space search over (depth, k, partitions):
+  multi-objective Bayesian optimisation of accuracy vs flow scale, printing
+  the Pareto front and per-stage timings.  ``--dse-workers N`` fans each
+  proposal batch out to a persistent evaluator-process pool — bit-identical
+  results, parallel wall-clock.
 * ``list-datasets`` — the D1–D7 catalogue, plus registered systems/scenarios.
 * ``compare`` — run several systems on one dataset and print a comparison
   table (the shape of the paper's headline tables); ``--json`` emits
@@ -505,6 +510,122 @@ def _cmd_scenario_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_range(raw: str, *, flag: str) -> tuple[int, int]:
+    """``"2,16"`` -> ``(2, 16)`` with a CLI-shaped error."""
+    parts = [part.strip() for part in raw.split(",")]
+    if len(parts) != 2:
+        raise SpecError(f"{flag} expects 'lo,hi', got {raw!r}")
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise SpecError(f"{flag} expects integers, got {raw!r}") from exc
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.core.dse import DesignSearch
+    from repro.datasets import DatasetStore, load_dataset
+
+    spec = _spec_from_args(args)
+    dse = spec.dse
+    overrides = {}
+    for flag, field_name in (("iterations", "iterations"),
+                             ("batch_size", "batch_size"), ("method", "method"),
+                             ("dse_workers", "workers")):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[field_name] = value
+    if getattr(args, "affinity", False):
+        overrides["affinity"] = True
+    for flag in ("depth_range", "k_range", "partitions_range"):
+        value = getattr(args, flag, None)
+        if value is not None:
+            overrides[flag] = _parse_range(value, flag="--" + flag.replace("_", "-"))
+    if overrides:
+        dse = dse.replace(**overrides)
+    spec = spec.replace(dse=dse).validate()
+    dse = spec.dse
+
+    dataset = load_dataset(spec.dataset, n_flows=spec.n_flows, seed=spec.seed)
+    store = DatasetStore(dataset, random_state=spec.seed)
+    search = DesignSearch(
+        store,
+        target=spec.target_spec(),
+        depth_range=dse.depth_range,
+        k_range=dse.k_range,
+        partitions_range=dse.partitions_range,
+        bit_width=spec.bit_width,
+        seed=spec.seed,
+        workers=dse.workers,
+        affinity=dse.affinity,
+    )
+    if not args.json:
+        pool_note = (f"{search.workers} evaluator processes" if search.workers
+                     else "serial evaluation")
+        print(f"design search     : {spec.dataset} ({spec.n_flows} flows, seed "
+              f"{spec.seed}), {dse.iterations} iterations x batch {dse.batch_size}, "
+              f"{dse.method} method, {pool_note}")
+    with search:
+        result = search.run(dse.iterations, batch_size=dse.batch_size,
+                            method=dse.method)
+
+    front = result.pareto_candidates()
+    if args.json:
+        print(json.dumps({
+            "dataset": spec.dataset,
+            "n_flows": spec.n_flows,
+            "seed": spec.seed,
+            "method": dse.method,
+            "workers": result.workers,
+            "wall_time_s": result.wall_time,
+            "aggregate_cpu_s": result.aggregate_cpu(),
+            "history": [
+                {
+                    "depth": c.config.depth,
+                    "k": c.config.features_per_subtree,
+                    "partition_sizes": list(c.config.partition_sizes),
+                    "f1": c.f1_score,
+                    "max_flows": c.max_flows,
+                }
+                for c in result.history
+            ],
+            "pareto": [
+                {
+                    "depth": c.config.depth,
+                    "k": c.config.features_per_subtree,
+                    "partition_sizes": list(c.config.partition_sizes),
+                    "f1": c.f1_score,
+                    "max_flows": c.max_flows,
+                }
+                for c in front
+            ],
+        }, indent=2))
+        return 0
+    rows = [
+        [
+            str(c.config.depth),
+            str(c.config.features_per_subtree),
+            "/".join(str(size) for size in c.config.partition_sizes),
+            f"{c.f1_score:.3f}",
+            f"{c.max_flows:,}",
+            f"{c.rules.n_entries:,}",
+        ]
+        for c in front
+    ]
+    print(render_table(
+        ["Depth", "k", "Partitions", "F1", "Max flows", "Rules"], rows
+    ))
+    timings = result.mean_timings()
+    print(f"evaluated         : {len(result.history)} candidates "
+          f"({len(front)} on the Pareto front)")
+    print(f"wall-clock        : {result.wall_time:.2f}s "
+          f"(aggregate candidate CPU {result.aggregate_cpu():.2f}s, "
+          f"{result.workers} workers)")
+    print(f"mean stage times  : fetch={timings.fetch:.3f}s "
+          f"train={timings.training:.3f}s rulegen={timings.rulegen:.3f}s "
+          f"backend={timings.backend:.3f}s optimizer={timings.optimizer:.3f}s")
+    return 0
+
+
 def _cmd_list_datasets(args: argparse.Namespace) -> int:
     rows = []
     for key in DATASET_KEYS:
@@ -720,6 +841,33 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_sweep.add_argument("--json", action="store_true",
                                 help="emit machine-readable results")
     scenario_sweep.set_defaults(func=_cmd_scenario_sweep)
+
+    dse = sub.add_parser(
+        "dse",
+        help="design-space search over (depth, k, partitions); "
+             "--dse-workers parallelises candidate evaluation")
+    _add_spec_arguments(dse)
+    dse.add_argument("--iterations", type=int,
+                     help="candidate evaluations (default: spec's, 24)")
+    dse.add_argument("--batch-size", type=int, dest="batch_size",
+                     help="proposals per optimiser iteration (default: 4)")
+    dse.add_argument("--method", choices=("bayesian", "random"),
+                     help="search method (default: bayesian)")
+    dse.add_argument("--dse-workers", type=int, dest="dse_workers",
+                     help="evaluator processes per batch; 0 = serial "
+                          "(default: SPLIDT_DSE_WORKERS or 0); results are "
+                          "bit-identical at any worker count")
+    dse.add_argument("--affinity", action="store_true",
+                     help="pin evaluator workers to CPUs (SPLIDT_AFFINITY)")
+    dse.add_argument("--depth-range", dest="depth_range", metavar="LO,HI",
+                     help="total-depth bounds (default: 2,16)")
+    dse.add_argument("--k-range", dest="k_range", metavar="LO,HI",
+                     help="features-per-subtree bounds (default: 1,6)")
+    dse.add_argument("--partitions-range", dest="partitions_range",
+                     metavar="LO,HI", help="partition-count bounds (default: 1,5)")
+    dse.add_argument("--json", action="store_true",
+                     help="emit machine-readable history and Pareto front")
+    dse.set_defaults(func=_cmd_dse)
 
     list_datasets = sub.add_parser("list-datasets",
                                    help="list datasets, systems and scenarios")

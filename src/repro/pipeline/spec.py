@@ -125,6 +125,66 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
+class DseConfig:
+    """Declarative design-search settings (the ``python -m repro dse`` surface).
+
+    Attributes:
+        iterations: Candidate evaluations in the search.
+        batch_size: Proposals asked (and evaluated) per optimiser iteration.
+        method: ``"bayesian"`` (multi-objective BO, the paper's search) or
+            ``"random"`` (pure sampling — the ablation of the BO stage).
+        workers: Evaluator processes per batch; ``0`` evaluates serially on
+            the calling thread, ``None`` resolves from ``SPLIDT_DSE_WORKERS``.
+            The search result is bit-identical for every value — workers
+            only change the wall-clock.
+        affinity: Pin pool workers to CPUs (``None`` resolves from
+            ``SPLIDT_AFFINITY``; no-op with a warning where unsupported).
+        depth_range: Inclusive bounds of the total tree depth ``D``.
+        k_range: Inclusive bounds of the per-subtree feature budget ``k``.
+        partitions_range: Inclusive bounds of the partition count ``p``.
+    """
+
+    iterations: int = 24
+    batch_size: int = 4
+    method: str = "bayesian"
+    workers: int | None = None
+    affinity: bool | None = None
+    depth_range: tuple[int, int] = (2, 16)
+    k_range: tuple[int, int] = (1, 6)
+    partitions_range: tuple[int, int] = (1, 5)
+
+    def __post_init__(self) -> None:
+        for name in ("depth_range", "k_range", "partitions_range"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    def validate(self) -> "DseConfig":
+        """Check the search settings; raises :class:`SpecError`."""
+        if self.iterations < 1:
+            raise SpecError(f"dse iterations must be >= 1, got {self.iterations}")
+        if self.batch_size < 1:
+            raise SpecError(f"dse batch_size must be >= 1, got {self.batch_size}")
+        if self.method not in ("bayesian", "random"):
+            raise SpecError(
+                f"unknown dse method {self.method!r}; expected 'bayesian' or 'random'"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise SpecError(f"dse workers must be >= 0, got {self.workers}")
+        for name in ("depth_range", "k_range", "partitions_range"):
+            bounds = getattr(self, name)
+            if len(bounds) != 2 or bounds[0] < 1 or bounds[1] < bounds[0]:
+                raise SpecError(
+                    f"dse {name} must be (lo, hi) with 1 <= lo <= hi, got {bounds}"
+                )
+        return self
+
+    def replace(self, **changes) -> "DseConfig":
+        """A copy of the config with ``changes`` applied."""
+        return dataclass_replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """Declarative description of one dataset-to-dataplane experiment.
 
@@ -164,6 +224,9 @@ class ExperimentSpec:
         n_trees: Ensemble size (pForest only).
         serve: Streaming-serving settings (:class:`ServeConfig`) used by
             ``python -m repro serve`` and :meth:`Experiment.serve_engine`.
+        dse: Design-search settings (:class:`DseConfig`) used by
+            ``python -m repro dse`` — iteration/batch counts, the search
+            method, and the evaluator worker-pool size (``--dse-workers``).
         scenario: Optional adversarial workload
             (:class:`repro.scenarios.ScenarioSpec`).  When set, the deployed
             data plane honours the scenario's eviction policy, and
@@ -190,6 +253,7 @@ class ExperimentSpec:
     test_size: float = 0.3
     n_trees: int = 5
     serve: ServeConfig = ServeConfig()
+    dse: DseConfig = DseConfig()
     scenario: "object | None" = None
 
     def __post_init__(self) -> None:
@@ -197,6 +261,8 @@ class ExperimentSpec:
             object.__setattr__(self, "partition_sizes", tuple(self.partition_sizes))
         if isinstance(self.serve, dict):
             object.__setattr__(self, "serve", ServeConfig(**self.serve))
+        if isinstance(self.dse, dict):
+            object.__setattr__(self, "dse", DseConfig(**self.dse))
         if isinstance(self.scenario, dict):
             # Imported lazily: repro.scenarios imports the pipeline back.
             from repro.scenarios.spec import ScenarioSpec
@@ -242,6 +308,7 @@ class ExperimentSpec:
         if self.n_trees < 1:
             raise SpecError(f"n_trees must be >= 1, got {self.n_trees}")
         self.serve.validate()
+        self.dse.validate()
         if self.scenario is not None:
             from repro.scenarios.spec import ScenarioSpec
 
@@ -319,6 +386,8 @@ class ExperimentSpec:
         data = asdict(self)
         if data["partition_sizes"] is not None:
             data["partition_sizes"] = list(data["partition_sizes"])
+        for name in ("depth_range", "k_range", "partitions_range"):
+            data["dse"][name] = list(data["dse"][name])
         if self.scenario is not None:
             # ScenarioSpec.to_dict keeps the payload JSON-compatible
             # (infinite bounds serialise as null).
@@ -351,6 +420,13 @@ class ExperimentSpec:
                     )
                 serve_payload["online"] = OnlineConfig(**online_payload)
             payload["serve"] = ServeConfig(**serve_payload)
+        if isinstance(payload.get("dse"), dict):
+            dse_payload = dict(payload["dse"])
+            dse_known = {f.name for f in fields(DseConfig)}
+            dse_unknown = set(dse_payload) - dse_known
+            if dse_unknown:
+                raise SpecError(f"unknown dse fields: {sorted(dse_unknown)}")
+            payload["dse"] = DseConfig(**dse_payload)
         if isinstance(payload.get("scenario"), dict):
             from repro.scenarios.spec import ScenarioError, ScenarioSpec
 

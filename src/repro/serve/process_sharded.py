@@ -69,6 +69,7 @@ import weakref
 
 import numpy as np
 
+from repro.affinity import resolve_affinity
 from repro.datasets.shm import SharedPacketArrays, flow_meta, flows_from_meta
 from repro.datasets.streams import PacketChunk
 from repro.serve.engine import (
@@ -167,6 +168,7 @@ def _worker_main(
     child_engine: str,
     flush_flows: int | None,
     backpressure: int | None,
+    affinity: bool,
     tasks,
     results,
 ) -> None:
@@ -199,6 +201,10 @@ def _worker_main(
     from repro.serve.microbatch import MicroBatchEngine
     from repro.serve.streaming import StreamingEngine
 
+    if affinity:
+        from repro.affinity import pin_worker
+
+        pin_worker(index)
     parent_pid = os.getppid()
     shared = None
     ring = None
@@ -388,6 +394,10 @@ class ProcessShardedEngine(InferenceEngine):
             invisible — the parity contract holds for any chunking).
         flush_flows: Eager-flush threshold of micro-batch children.
         backpressure: Buffered-packet limit of micro-batch children.
+        affinity: Pin each worker to one CPU (round-robin over the usable
+            set) via :func:`repro.affinity.pin_worker`.  ``None`` resolves
+            from ``SPLIDT_AFFINITY``; default off.  A no-op with a warning
+            on platforms without ``os.sched_setaffinity``.
 
     Example::
 
@@ -415,6 +425,7 @@ class ProcessShardedEngine(InferenceEngine):
         ring_span: int = DEFAULT_RING_SPAN,
         flush_flows: int | None = None,
         backpressure: int | None = None,
+        affinity: bool | None = None,
     ) -> None:
         super().__init__()
         if workers < 1:
@@ -458,6 +469,7 @@ class ProcessShardedEngine(InferenceEngine):
         self.ring_span = ring_span
         self.flush_flows = flush_flows
         self.child_backpressure = backpressure
+        self.affinity = resolve_affinity(affinity)
 
         self._ctx = None
         self._processes: list = []
@@ -509,6 +521,7 @@ class ProcessShardedEngine(InferenceEngine):
                     self.child_engine,
                     self.flush_flows,
                     self.child_backpressure,
+                    self.affinity,
                     tasks,
                     self._results,
                 ),
@@ -520,6 +533,14 @@ class ProcessShardedEngine(InferenceEngine):
             self, _release_resources, self._processes,
             [*self._task_queues, self._results], self._segments,
         )
+        # Pre-start the parent's shared-memory resource tracker: the packet
+        # segment and rings are created lazily (first ingest), so a forked
+        # worker with no inherited tracker fd would spawn a private tracker
+        # on attach and warn about "leaked" segments at exit that only the
+        # owner's unlink can resolve.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
         for process in self._processes:
             process.start()
         # One pickle pass for all workers — and an eager, actionable error
@@ -822,6 +843,7 @@ class ProcessShardedEngine(InferenceEngine):
             ring_span=self.ring_span,
             flush_flows=self.flush_flows,
             backpressure=self.child_backpressure,
+            affinity=self.affinity,
         )
 
     def _swap_table_size(self) -> int | None:

@@ -257,3 +257,63 @@ class TestOnlineConfigInSpec:
             ExperimentSpec(
                 serve=ServeConfig(online=OnlineConfig(min_retrain_flows=0))
             ).validate()
+
+
+class TestDseConfig:
+    def test_default_spec_carries_dse_config(self):
+        from repro.pipeline import DseConfig
+
+        spec = ExperimentSpec().validate()
+        assert spec.dse == DseConfig()
+        assert spec.dse.method == "bayesian"
+        assert spec.dse.workers is None  # resolve from SPLIDT_DSE_WORKERS
+
+    def test_dse_roundtrips_as_nested_dict(self):
+        import json
+
+        from repro.pipeline import DseConfig
+
+        spec = ExperimentSpec(
+            dse=DseConfig(iterations=8, batch_size=2, method="random",
+                          workers=4, affinity=True, depth_range=(2, 8))
+        )
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert payload["dse"] == {
+            "iterations": 8, "batch_size": 2, "method": "random",
+            "workers": 4, "affinity": True, "depth_range": [2, 8],
+            "k_range": [1, 6], "partitions_range": [1, 5],
+        }
+        restored = ExperimentSpec.from_dict(payload)
+        assert restored == spec
+        assert isinstance(restored.dse, DseConfig)
+        assert restored.dse.depth_range == (2, 8)
+
+    def test_dse_dict_coerced_at_construction(self):
+        from repro.pipeline import DseConfig
+
+        spec = ExperimentSpec(dse={"iterations": 6, "workers": 2})
+        assert isinstance(spec.dse, DseConfig)
+        assert spec.dse.workers == 2
+
+    def test_unknown_dse_keys_rejected(self):
+        payload = ExperimentSpec().to_dict()
+        payload["dse"]["pool_size"] = 8
+        with pytest.raises(SpecError, match="pool_size"):
+            ExperimentSpec.from_dict(payload)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"iterations": 0},
+            {"batch_size": 0},
+            {"method": "grid"},
+            {"workers": -1},
+            {"depth_range": (8, 2)},
+            {"partitions_range": (0, 3)},
+        ],
+    )
+    def test_invalid_dse_configs_raise(self, overrides):
+        from repro.pipeline import DseConfig
+
+        with pytest.raises(SpecError):
+            ExperimentSpec(dse=DseConfig(**overrides)).validate()

@@ -32,7 +32,12 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 LINK_FILES = ("README.md", "docs")
 
 #: Files whose marked snippets are executed.
-SNIPPET_FILES = ("docs/pipeline.md", "docs/serving.md", "docs/scenarios.md")
+SNIPPET_FILES = (
+    "docs/pipeline.md",
+    "docs/serving.md",
+    "docs/scenarios.md",
+    "docs/performance.md",
+)
 
 #: Marker that opts a fenced bash block into execution.
 SMOKE_MARKER = "<!-- docs-smoke -->"
